@@ -1,0 +1,82 @@
+package streamad
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAttributionNamesTheGuiltyChannel corrupts exactly one channel and
+// checks the attribution concentrates on it.
+func TestAttributionNamesTheGuiltyChannel(t *testing.T) {
+	const channels = 4
+	det, err := New(Config{
+		Model: ModelNBEATS, Task1: TaskSlidingWindow, Task2: TaskRegular,
+		RegularInterval: 1 << 30,
+		Score:           ScoreAverage, Channels: channels,
+		Window: 10, TrainSize: 60, WarmupVectors: 120,
+		Attribution: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guilty := 2
+	var attributionAtAnomaly []float64
+	for i := 0; i < 400; i++ {
+		s := make([]float64, channels)
+		base := 2 + math.Sin(0.2*float64(i))
+		for c := range s {
+			s[c] = base + 0.2*float64(c)
+		}
+		if i >= 350 {
+			s[guilty] += 8
+		}
+		res, ok := det.Step(s)
+		if ok && i == 352 {
+			if res.Attribution == nil {
+				t.Fatal("attribution missing")
+			}
+			attributionAtAnomaly = append([]float64(nil), res.Attribution...)
+		}
+	}
+	if attributionAtAnomaly == nil {
+		t.Fatal("never reached the anomaly step")
+	}
+	var sum float64
+	maxIdx := 0
+	for c, v := range attributionAtAnomaly {
+		sum += v
+		if v > attributionAtAnomaly[maxIdx] {
+			maxIdx = c
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("attribution sums to %v, want 1", sum)
+	}
+	if maxIdx != guilty {
+		t.Fatalf("attribution blames channel %d (%v), want %d", maxIdx, attributionAtAnomaly, guilty)
+	}
+	if attributionAtAnomaly[guilty] < 0.5 {
+		t.Fatalf("guilty channel share %v, want dominant", attributionAtAnomaly[guilty])
+	}
+}
+
+// TestAttributionAbsentForSelfScoringModels verifies PCB-iForest produces
+// no attribution (it has no prediction pair).
+func TestAttributionAbsentForSelfScoringModels(t *testing.T) {
+	det, err := New(Config{
+		Model: ModelPCBIForest, Task1: TaskSlidingWindow, Task2: TaskRegular,
+		RegularInterval: 1 << 30,
+		Score:           ScoreAverage, Channels: 2,
+		Window: 6, TrainSize: 30, WarmupVectors: 40,
+		Attribution: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		res, ok := det.Step([]float64{float64(i % 5), float64(i % 3)})
+		if ok && res.Attribution != nil {
+			t.Fatal("self-scoring model should not attribute")
+		}
+	}
+}

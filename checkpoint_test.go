@@ -1,0 +1,111 @@
+package streamad
+
+import (
+	"testing"
+
+	"streamad/internal/dataset"
+)
+
+// TestModelCheckpointRoundTrip trains each model kind briefly, snapshots
+// it, restores the snapshot into a freshly built detector and verifies
+// both produce identical scores on the same evaluation stream.
+func TestModelCheckpointRoundTrip(t *testing.T) {
+	corpus := dataset.Daphnet(dataset.Config{Length: 700, SeriesCount: 1, Seed: 13})
+	s := corpus.Series[0]
+	mk := func() Config {
+		return Config{
+			Model: ModelAE, Task1: TaskSlidingWindow, Task2: TaskRegular,
+			// TaskRegular with a huge interval: no fine-tunes after warmup,
+			// so the restored model's scores must match exactly.
+			RegularInterval: 1 << 30,
+			Score:           ScoreAverage,
+			Channels:        s.Channels(), Window: 12, TrainSize: 60,
+			WarmupVectors: 80, Seed: 5,
+		}
+	}
+	kinds := []ModelKind{ModelARIMA, ModelARIMAONS, ModelPCBIForest, ModelAE, ModelUSAD, ModelNBEATS, ModelVAR, ModelKNN}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := mk()
+			cfg.Model = kind
+			trained, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up (train) on the first part of the stream.
+			for _, row := range s.Data[:300] {
+				trained.Step(row)
+			}
+			if !trained.WarmedUp() {
+				t.Fatal("detector did not warm up")
+			}
+			snap, err := trained.SaveModel()
+			if err != nil {
+				t.Fatalf("SaveModel: %v", err)
+			}
+			if len(snap) == 0 {
+				t.Fatal("empty snapshot")
+			}
+
+			// The restored detector must skip its own initial fit (the
+			// model comes from the snapshot) but still refill its window
+			// and training set from the live stream.
+			cfg.PreTrained = true
+			restored, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.LoadModel(snap); err != nil {
+				t.Fatalf("LoadModel: %v", err)
+			}
+
+			// Drive both detectors through an identical evaluation slice.
+			// The restored one becomes ready after its window + warmup
+			// refill; from then on the (frozen, identical) models must
+			// produce identical nonconformity scores.
+			compared := 0
+			for i := 300; i < 650; i++ {
+				a, okA := trained.Step(s.Data[i])
+				b, okB := restored.Step(s.Data[i])
+				if !okA || !okB {
+					continue
+				}
+				compared++
+				if a.Nonconformity != b.Nonconformity {
+					t.Fatalf("nonconformity diverged at %d: %v vs %v", i, a.Nonconformity, b.Nonconformity)
+				}
+			}
+			if compared < 100 {
+				t.Fatalf("only %d comparable steps; restored detector never became ready", compared)
+			}
+		})
+	}
+}
+
+// TestLoadModelRejectsMismatchedShape verifies a snapshot cannot be
+// loaded into a differently-shaped detector.
+func TestLoadModelRejectsMismatchedShape(t *testing.T) {
+	a, err := New(Config{Model: ModelAE, Channels: 3, Window: 8, TrainSize: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := a.SaveModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Model: ModelAE, Channels: 4, Window: 8, TrainSize: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadModel(snap); err == nil {
+		t.Fatal("mismatched-shape load must fail")
+	}
+	c, err := New(Config{Model: ModelUSAD, Channels: 3, Window: 8, TrainSize: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadModel(snap); err == nil {
+		t.Fatal("cross-model load must fail")
+	}
+}

@@ -1,0 +1,73 @@
+// Command streamadd serves the streaming anomaly detection API over HTTP.
+// Every distinct stream id gets its own detector (built from the flags)
+// and adaptive threshold; producers push vectors and receive scores:
+//
+//	streamadd -addr :8080 -model usad -channels 9 &
+//	curl -XPOST localhost:8080/v1/streams/device-7/observe \
+//	     -d '{"vector": [0.1, 0.3, ...]}'
+//
+// See internal/server for the API surface.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"streamad"
+	"streamad/internal/score"
+	"streamad/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelName = flag.String("model", "usad", "model: arima|arima-ons|pcb|ae|usad|nbeats|var|knn")
+		task1Name = flag.String("task1", "sw", "training-set strategy: sw|ures|ares")
+		task2Name = flag.String("task2", "musigma", "drift strategy: musigma|kswin|regular")
+		scoreName = flag.String("score", "likelihood", "anomaly score: avg|likelihood|raw")
+		channels  = flag.Int("channels", 0, "stream dimensionality N (required)")
+		window    = flag.Int("w", 32, "data representation length")
+		train     = flag.Int("m", 200, "training set size")
+		quantile  = flag.Float64("alert-quantile", 0.99, "adaptive alert quantile")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *channels <= 0 {
+		log.Fatal("streamadd: -channels is required")
+	}
+	mk, err := streamad.ParseModelKind(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1, err := streamad.ParseTask1(*task1Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := streamad.ParseTask2(*task2Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk, err := streamad.ParseScoreKind(*scoreName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		NewDetector: func(stream string) (server.Stepper, error) {
+			return streamad.New(streamad.Config{
+				Model: mk, Task1: t1, Task2: t2, Score: sk,
+				Channels: *channels, Window: *window, TrainSize: *train,
+				Seed: *seed,
+			})
+		},
+		NewThresholder: func(string) score.Thresholder {
+			return score.NewQuantileThresholder(*quantile)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("streamadd listening on %s (model=%v task1=%v task2=%v score=%v N=%d)",
+		*addr, mk, t1, t2, sk, *channels)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,61 @@
+// Command table3rest regenerates the remaining SMD rows of the Table III
+// grid (the heaviest cells), cheapest models first, so partial output is
+// still useful. It exists alongside cmd/table3 for incremental reruns.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"streamad"
+	"streamad/internal/bench"
+	"streamad/internal/dataset"
+	"streamad/internal/metrics"
+)
+
+func main() {
+	p := bench.Fast()
+	corpus := dataset.SMD(p.Data)
+	type cell struct {
+		m  streamad.ModelKind
+		t1 streamad.Task1
+		t2 streamad.Task2
+	}
+	cells := []cell{
+		{streamad.ModelPCBIForest, streamad.TaskSlidingWindow, streamad.TaskKSWIN},
+		{streamad.ModelPCBIForest, streamad.TaskAnomalyReservoir, streamad.TaskKSWIN},
+		{streamad.ModelNBEATS, streamad.TaskSlidingWindow, streamad.TaskMuSigma},
+		{streamad.ModelNBEATS, streamad.TaskSlidingWindow, streamad.TaskKSWIN},
+		{streamad.ModelNBEATS, streamad.TaskUniformReservoir, streamad.TaskMuSigma},
+		{streamad.ModelNBEATS, streamad.TaskUniformReservoir, streamad.TaskKSWIN},
+		{streamad.ModelNBEATS, streamad.TaskAnomalyReservoir, streamad.TaskMuSigma},
+		{streamad.ModelNBEATS, streamad.TaskAnomalyReservoir, streamad.TaskKSWIN},
+		{streamad.ModelUSAD, streamad.TaskSlidingWindow, streamad.TaskKSWIN},
+		{streamad.ModelUSAD, streamad.TaskUniformReservoir, streamad.TaskMuSigma},
+		{streamad.ModelUSAD, streamad.TaskUniformReservoir, streamad.TaskKSWIN},
+		{streamad.ModelUSAD, streamad.TaskAnomalyReservoir, streamad.TaskMuSigma},
+		{streamad.ModelUSAD, streamad.TaskAnomalyReservoir, streamad.TaskKSWIN},
+	}
+	for _, c := range cells {
+		combo := streamad.Combo{Model: c.m, Task1: c.t1, Task2: c.t2}
+		var sums []metrics.Summary
+		for _, sk := range []streamad.ScoreKind{streamad.ScoreAverage, streamad.ScoreLikelihood} {
+			sum, err := bench.RunSeries(combo, sk, p, corpus.Series[0])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sums = append(sums, sum)
+		}
+		avg := metrics.Summary{
+			Precision: (sums[0].Precision + sums[1].Precision) / 2,
+			Recall:    (sums[0].Recall + sums[1].Recall) / 2,
+			AUC:       (sums[0].AUC + sums[1].AUC) / 2,
+			VUS:       (sums[0].VUS + sums[1].VUS) / 2,
+			NAB:       (sums[0].NAB + sums[1].NAB) / 2,
+		}
+		fmt.Printf("%-14s %-5s %-5s %-9s  %6.2f %6.2f %6.2f %6.2f %9.2f\n",
+			combo.Model, combo.Task1, combo.Task2, "smd",
+			avg.Precision, avg.Recall, avg.AUC, avg.VUS, avg.NAB)
+	}
+}

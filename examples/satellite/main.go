@@ -1,0 +1,125 @@
+// Satellite telemetry monitoring — the paper's motivating domain (the
+// work was funded by an ESA programme on machine learning for telecom
+// satellites). This example simulates a small telemetry bus (bus voltage,
+// solar-array current, battery temperature, reaction-wheel speed, signal
+// gain), injects an eclipse-style concept drift followed by a stuck-sensor
+// anomaly, and shows how the detector fine-tunes through the drift but
+// still flags the fault.
+//
+// Run with:
+//
+//	go run ./examples/satellite
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"streamad"
+)
+
+const (
+	channels = 5
+	steps    = 1400
+	// Orbit period in steps; telemetry oscillates with the orbit.
+	orbit = 120.0
+)
+
+// telemetry synthesizes one stream vector at step t.
+func telemetry(t int, eclipse bool, rng *rand.Rand) []float64 {
+	phase := 2 * math.Pi * float64(t) / orbit
+	sun := math.Max(0, math.Sin(phase)) // solar illumination
+	coldShift := 0.0
+	if eclipse {
+		// Deep eclipse season: the array barely charges and the whole bus
+		// runs colder — a strong, persistent regime change.
+		sun *= 0.05
+		coldShift = 1.0
+	}
+	// Channels are expressed in comparable engineering units (V/10, A,
+	// °C/10, kRPM, dB/10): the framework's cosine nonconformity and the
+	// μ/σ drift statistics assume channels of similar magnitude, so a raw
+	// 2000-RPM channel would otherwise drown the others.
+	busVoltage := 2.8 - 0.2*coldShift + 0.04*sun + 0.005*rng.NormFloat64()
+	arrayCurrent := 3 - 2*coldShift + 8*sun + 0.2*rng.NormFloat64()
+	batteryTemp := 1.5 - coldShift + 0.6*sun + 0.03*rng.NormFloat64()
+	wheelSpeed := 2.0 + 0.8*math.Sin(phase/3) + 0.02*rng.NormFloat64()
+	signalGain := 3.5 + 0.5*math.Sin(phase/2) + 0.02*rng.NormFloat64()
+	return []float64{busVoltage, arrayCurrent, batteryTemp, wheelSpeed, signalGain}
+}
+
+func main() {
+	// Note the Task 1 choice: the anomaly-aware reservoir would refuse the
+	// high-scoring post-drift windows, so the training set — which is what
+	// the Task 2 detector watches — would never reflect the new regime and
+	// the drift would go unnoticed. The sliding window absorbs it.
+	det, err := streamad.New(streamad.Config{
+		Model:     streamad.ModelNBEATS, // forecasting model for periodic telemetry
+		Task1:     streamad.TaskSlidingWindow,
+		Task2:     streamad.TaskMuSigma,
+		Score:     streamad.ScoreLikelihood,
+		Channels:  channels,
+		Window:    24,
+		TrainSize: 240, // two full orbits: keeps the training-set
+		// distribution phase-stationary so KSWIN sees true drift, not the
+		// orbital cycle itself
+		WarmupVectors: 480,
+		ScoreWindow:   100,
+		ShortWindow:   6,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	var (
+		fineTuneSteps []int
+		alerts        []int
+	)
+	for t := 0; t < steps; t++ {
+		eclipseSeason := t >= 800 // concept drift: eclipse season begins
+		s := telemetry(t, eclipseSeason, rng)
+		if t >= 1150 && t < 1180 {
+			s[3] = 4.5 // reaction wheel telemetry stuck far outside range
+		}
+		res, ok := det.Step(s)
+		if !ok {
+			continue
+		}
+		if res.FineTuned {
+			fineTuneSteps = append(fineTuneSteps, t)
+		}
+		if res.Score > 0.995 {
+			alerts = append(alerts, t)
+		}
+	}
+
+	fmt.Println("satellite telemetry monitoring")
+	fmt.Printf("  eclipse-season drift begins at t=800\n")
+	fmt.Printf("  stuck reaction-wheel sensor at t ∈ [1150, 1180)\n\n")
+	fmt.Printf("fine-tuning sessions: %v\n", fineTuneSteps)
+	lastFT := -1
+	if len(fineTuneSteps) > 0 {
+		lastFT = fineTuneSteps[len(fineTuneSteps)-1]
+	}
+	inFault, driftTransient, elsewhere := 0, 0, 0
+	for _, t := range alerts {
+		switch {
+		case t >= 1150 && t < 1180+24:
+			inFault++
+		case t >= 800 && lastFT >= 0 && t <= lastFT:
+			// The model genuinely mispredicts between the onset of the new
+			// regime and the drift-triggered fine-tune — these alerts are
+			// what the Task 2 strategy exists to stop.
+			driftTransient++
+		default:
+			elsewhere++
+		}
+	}
+	fmt.Printf("alerts in the fault window: %d\n", inFault)
+	fmt.Printf("alerts during the drift transient (before the fine-tune adapts): %d\n", driftTransient)
+	fmt.Printf("other alerts: %d\n", elsewhere)
+}

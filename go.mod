@@ -1,0 +1,3 @@
+module streamad
+
+go 1.22

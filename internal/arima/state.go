@@ -1,0 +1,53 @@
+package arima
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// state is the serializable form of the online ARIMA model.
+type state struct {
+	Lags     int
+	D        int
+	Channels int
+	Gamma    []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	g := make([]float64, len(m.gamma))
+	copy(g, m.gamma)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(state{
+		Lags: m.lags, D: m.d, Channels: m.channels, Gamma: g,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("arima: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for the ONS wrapper:
+// the snapshot carries the γ coefficients; the accumulated second-order
+// statistics A⁻¹ are transient optimizer state and restart at ε·I on
+// restore, exactly like Adam moments in the neural models.
+func (o *ONS) MarshalBinary() ([]byte, error) { return o.model.MarshalBinary() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for ONS.
+func (o *ONS) UnmarshalBinary(data []byte) error { return o.model.UnmarshalBinary(data) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// configuration must match the snapshot.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("arima: decode: %w", err)
+	}
+	if st.Lags != m.lags || st.D != m.d || st.Channels != m.channels {
+		return fmt.Errorf("arima: snapshot (lags=%d d=%d N=%d) does not match model (lags=%d d=%d N=%d)",
+			st.Lags, st.D, st.Channels, m.lags, m.d, m.channels)
+	}
+	copy(m.gamma, st.Gamma)
+	return nil
+}

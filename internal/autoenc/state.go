@@ -1,0 +1,47 @@
+package autoenc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// state is the serializable form of the autoencoder.
+type state struct {
+	Dim    int
+	Net    []byte
+	Scaler []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	net, err := m.net.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := m.scaler.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(state{Dim: m.dim, Net: net, Scaler: sc}); err != nil {
+		return nil, fmt.Errorf("autoenc: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver must
+// have been constructed with the same Config dimensions.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("autoenc: decode: %w", err)
+	}
+	if st.Dim != m.dim {
+		return fmt.Errorf("autoenc: snapshot dim %d != model dim %d", st.Dim, m.dim)
+	}
+	if err := m.net.UnmarshalBinary(st.Net); err != nil {
+		return err
+	}
+	return m.scaler.UnmarshalBinary(st.Scaler)
+}

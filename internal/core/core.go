@@ -1,0 +1,340 @@
+// Package core implements the extended SAFARI framework of the paper: the
+// four fundamental components of a streaming anomaly detection algorithm —
+// data representation (Definition III.1), learning strategy (III.2, split
+// into Task 1 training-set maintenance and Task 2 drift-triggered
+// fine-tuning), nonconformity measure (III.3) and anomaly scoring (III.4) —
+// wired into a single streaming Detector.
+//
+// The reference parameters θ_t = {θ_model, R_train,t} generalize SAFARI's
+// reference group: the Task 1 strategy maintains R_train, the Task 2
+// detector watches it for concept drift, and a drift triggers one
+// fine-tuning epoch of the model on the current training set.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streamad/internal/drift"
+	"streamad/internal/reservoir"
+	"streamad/internal/score"
+	"streamad/internal/window"
+)
+
+// Model is a machine-learning model pluggable into the framework. Every
+// model must also implement either Predictor or SelfScoring so the
+// framework can derive nonconformity scores from it.
+type Model interface {
+	// Fit runs one fine-tuning epoch over the training set, the update
+	// θ_model,t = θ_model,t−1 − grads of the paper.
+	Fit(set [][]float64)
+}
+
+// Predictor models return the (target, prediction) pair that the
+// nonconformity measure compares: reconstruction models return (x, x̂);
+// forecasting models return (s_t, ŝ_t).
+type Predictor interface {
+	Predict(x []float64) (target, pred []float64)
+}
+
+// SelfScoring models produce their nonconformity score directly instead of
+// a prediction pair; PCB-iForest is the paper's instance.
+type SelfScoring interface {
+	NonconformityScore(x []float64) float64
+}
+
+// Representer is the data representation D: it turns the last w stream
+// vectors into the feature vector x_t ∈ R^{w×N} (Definition III.1).
+type Representer struct {
+	win      *window.VecRing
+	channels int
+	rows     int
+	flat     []float64
+}
+
+// NewRepresenter returns a representation of rows stream vectors of N
+// channels each.
+func NewRepresenter(rows, channels int) *Representer {
+	return &Representer{
+		win:      window.NewVecRing(rows, channels),
+		channels: channels,
+		rows:     rows,
+		flat:     make([]float64, rows*channels),
+	}
+}
+
+// Push adds stream vector s and returns the current feature vector
+// (row-major, oldest row first) once w vectors have accumulated. The
+// returned slice is reused across calls; copy it to retain.
+func (r *Representer) Push(s []float64) (x []float64, ok bool) {
+	r.win.Push(s)
+	if !r.win.Full() {
+		return nil, false
+	}
+	for i := 0; i < r.rows; i++ {
+		copy(r.flat[i*r.channels:(i+1)*r.channels], r.win.At(i))
+	}
+	return r.flat, true
+}
+
+// Dim returns the flattened feature-vector length w·N.
+func (r *Representer) Dim() int { return r.rows * r.channels }
+
+// Rows returns w.
+func (r *Representer) Rows() int { return r.rows }
+
+// Channels returns N.
+func (r *Representer) Channels() int { return r.channels }
+
+// Config assembles a Detector from the four framework components.
+type Config struct {
+	// Representer is the data representation D (required).
+	Representer *Representer
+	// Model is the ML model (required).
+	Model Model
+	// TrainingSet is the Task 1 strategy maintaining R_train (required).
+	TrainingSet reservoir.TrainingSet
+	// Drift is the Task 2 strategy deciding when to fine-tune (required).
+	Drift drift.Detector
+	// Measure is the nonconformity measure A. It may be nil only when the
+	// model is SelfScoring.
+	Measure score.Nonconformity
+	// Scorer is the anomaly scoring function F (required).
+	Scorer score.Scorer
+	// WarmupVectors is the number of feature vectors collected before the
+	// initial training; the paper uses the first 5000 time steps.
+	WarmupVectors int
+	// InitEpochs is the number of epochs of the initial fit (default 1).
+	InitEpochs int
+	// PreTrained skips the initial fit at the end of warmup: the warmup
+	// still fills the training set and initializes the drift reference,
+	// but the model parameters — e.g. restored from a snapshot — are left
+	// untouched until the first drift-triggered fine-tune.
+	PreTrained bool
+	// Sanitize replaces NaN/±Inf stream values with the channel's last
+	// finite value (or 0 before one exists) instead of letting them poison
+	// every running statistic. Real telemetry has gaps; with Sanitize off,
+	// a single NaN propagates into the training set, the drift statistics
+	// and the model weights.
+	Sanitize bool
+	// Attribution computes, for predictor models, the per-channel share
+	// of the prediction error at every step (Result.Attribution), so an
+	// alert can name the channels that drove it. Self-scoring models
+	// (PCB-iForest, kNN) have no prediction pair to decompose.
+	Attribution bool
+}
+
+// Result is the per-time-step output of the Detector.
+type Result struct {
+	// Nonconformity is the raw a_t.
+	Nonconformity float64
+	// Score is the final anomaly score f_t.
+	Score float64
+	// FineTuned reports whether this step triggered a fine-tune.
+	FineTuned bool
+	// Attribution, when Config.Attribution is on and the model is a
+	// Predictor, holds each channel's share of the squared prediction
+	// error (length N, sums to 1). The slice is reused across steps; copy
+	// it to retain.
+	Attribution []float64
+}
+
+// Detector runs the streaming anomaly detection loop.
+type Detector struct {
+	cfg        Config
+	predictor  Predictor
+	selfScore  SelfScoring
+	warmupLeft int
+	warmedUp   bool
+	steps      int
+	fineTunes  int
+	lastGood   []float64 // per-channel last finite value (Sanitize)
+	sanBuf     []float64
+	sanitized  int
+	attrBuf    []float64
+}
+
+// ErrConfig reports an invalid Detector configuration.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// NewDetector validates the configuration and returns a Detector.
+func NewDetector(cfg Config) (*Detector, error) {
+	if cfg.Representer == nil || cfg.Model == nil || cfg.TrainingSet == nil ||
+		cfg.Drift == nil || cfg.Scorer == nil {
+		return nil, fmt.Errorf("%w: missing component", ErrConfig)
+	}
+	pred, isPred := cfg.Model.(Predictor)
+	ss, isSelf := cfg.Model.(SelfScoring)
+	if !isPred && !isSelf {
+		return nil, fmt.Errorf("%w: model implements neither Predictor nor SelfScoring", ErrConfig)
+	}
+	if cfg.Measure == nil && !isSelf {
+		return nil, fmt.Errorf("%w: nonconformity measure required for non-self-scoring model", ErrConfig)
+	}
+	if cfg.Measure != nil && !isPred {
+		return nil, fmt.Errorf("%w: nonconformity measure set but model does not implement Predictor", ErrConfig)
+	}
+	if cfg.WarmupVectors < 0 {
+		return nil, fmt.Errorf("%w: negative warmup", ErrConfig)
+	}
+	if cfg.InitEpochs == 0 {
+		cfg.InitEpochs = 1
+	}
+	d := &Detector{cfg: cfg, warmupLeft: cfg.WarmupVectors}
+	if isSelf && cfg.Measure == nil {
+		d.selfScore = ss
+	} else {
+		d.predictor = pred
+	}
+	return d, nil
+}
+
+// sanitize replaces non-finite values with the channel's last finite
+// value, returning a buffer owned by the detector.
+func (d *Detector) sanitize(s []float64) []float64 {
+	if d.lastGood == nil {
+		d.lastGood = make([]float64, len(s))
+		d.sanBuf = make([]float64, len(s))
+	}
+	dirty := false
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		copy(d.lastGood, s)
+		return s
+	}
+	d.sanitized++
+	for i, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			d.sanBuf[i] = d.lastGood[i]
+		} else {
+			d.sanBuf[i] = v
+			d.lastGood[i] = v
+		}
+	}
+	return d.sanBuf
+}
+
+// Sanitized returns the number of steps on which at least one non-finite
+// input value was repaired (always 0 unless Config.Sanitize is set).
+func (d *Detector) Sanitized() int { return d.sanitized }
+
+// Step consumes the next stream vector s_t. ok is false while the detector
+// is still filling its representation window or warming up; once true, the
+// Result carries the nonconformity and anomaly scores for this step.
+func (d *Detector) Step(s []float64) (Result, bool) {
+	d.steps++
+	if d.cfg.Sanitize {
+		s = d.sanitize(s)
+	}
+	x, ready := d.cfg.Representer.Push(s)
+	if !ready {
+		return Result{}, false
+	}
+	if !d.warmedUp {
+		d.cfg.TrainingSet.Observe(x, 0)
+		if d.warmupLeft > 0 {
+			d.warmupLeft--
+		}
+		if d.warmupLeft == 0 {
+			if !d.cfg.PreTrained {
+				items := d.cfg.TrainingSet.Items()
+				for e := 0; e < d.cfg.InitEpochs; e++ {
+					d.cfg.Model.Fit(items)
+				}
+			}
+			d.cfg.Drift.Reset(d.cfg.TrainingSet)
+			d.warmedUp = true
+		}
+		return Result{}, false
+	}
+
+	var a float64
+	var attribution []float64
+	if d.selfScore != nil {
+		a = d.selfScore.NonconformityScore(x)
+	} else {
+		target, pred := d.predictor.Predict(x)
+		a = d.cfg.Measure.Measure(target, pred)
+		if d.cfg.Attribution {
+			attribution = d.attribute(target, pred)
+		}
+	}
+	f := d.cfg.Scorer.Score(a)
+
+	update := d.cfg.TrainingSet.Observe(x, f)
+	fineTuned := false
+	if d.cfg.Drift.Observe(update, x, d.cfg.TrainingSet) {
+		d.cfg.Model.Fit(d.cfg.TrainingSet.Items())
+		d.cfg.Drift.Reset(d.cfg.TrainingSet)
+		d.fineTunes++
+		fineTuned = true
+	}
+	return Result{Nonconformity: a, Score: f, FineTuned: fineTuned, Attribution: attribution}, true
+}
+
+// attribute computes each channel's share of the squared prediction
+// error. Targets may be one stream row (forecasters: length N) or a whole
+// feature vector (reconstruction models: length w·N, row-major); both lay
+// channels out as index mod N.
+func (d *Detector) attribute(target, pred []float64) []float64 {
+	n := d.cfg.Representer.Channels()
+	if d.attrBuf == nil {
+		d.attrBuf = make([]float64, n)
+	}
+	for i := range d.attrBuf {
+		d.attrBuf[i] = 0
+	}
+	var total float64
+	for i := range target {
+		diff := target[i] - pred[i]
+		e := diff * diff
+		d.attrBuf[i%n] += e
+		total += e
+	}
+	if total > 0 {
+		for i := range d.attrBuf {
+			d.attrBuf[i] /= total
+		}
+	} else {
+		// Perfect prediction: attribute uniformly.
+		for i := range d.attrBuf {
+			d.attrBuf[i] = 1 / float64(n)
+		}
+	}
+	return d.attrBuf
+}
+
+// Steps returns the number of stream vectors consumed.
+func (d *Detector) Steps() int { return d.steps }
+
+// FineTunes returns the number of fine-tuning sessions performed after
+// warmup.
+func (d *Detector) FineTunes() int { return d.fineTunes }
+
+// WarmedUp reports whether the initial training has completed.
+func (d *Detector) WarmedUp() bool { return d.warmedUp }
+
+// DriftOps exposes the Task 2 detector's cumulative operation counts.
+func (d *Detector) DriftOps() drift.OpCounts { return d.cfg.Drift.Ops() }
+
+// Run feeds an entire series (rows × N, row-major) through the detector
+// and returns one anomaly score per time step; steps before readiness get
+// score NaN-free 0 and a parallel validity mask.
+func (d *Detector) Run(series [][]float64) (scores []float64, valid []bool) {
+	scores = make([]float64, len(series))
+	valid = make([]bool, len(series))
+	for i, s := range series {
+		res, ok := d.Step(s)
+		if ok {
+			scores[i] = res.Score
+			valid[i] = true
+		}
+	}
+	return scores, valid
+}

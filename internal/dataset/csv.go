@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes a series as CSV with a header row: channel columns named
+// c0..cN-1 plus a trailing "label" column (0/1).
+func WriteCSV(w io.Writer, s *Series) error {
+	cw := csv.NewWriter(w)
+	n := s.Channels()
+	header := make([]string, n+1)
+	for i := 0; i < n; i++ {
+		header[i] = fmt.Sprintf("c%d", i)
+	}
+	header[n] = "label"
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, n+1)
+	for t, vec := range s.Data {
+		for i, v := range vec {
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if t < len(s.Labels) && s.Labels[t] {
+			row[n] = "1"
+		} else {
+			row[n] = "0"
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", t, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a series written by WriteCSV. A final "label" column is
+// optional; without it all labels are false.
+func ReadCSV(r io.Reader, name string) (*Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv")
+	}
+	header := records[0]
+	hasLabel := len(header) > 0 && header[len(header)-1] == "label"
+	nCols := len(header)
+	nCh := nCols
+	if hasLabel {
+		nCh--
+	}
+	if nCh == 0 {
+		return nil, fmt.Errorf("dataset: csv has no data columns")
+	}
+	s := &Series{Name: name}
+	for li, rec := range records[1:] {
+		if len(rec) != nCols {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", li+2, len(rec), nCols)
+		}
+		vec := make([]float64, nCh)
+		for i := 0; i < nCh; i++ {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", li+2, i, err)
+			}
+			vec[i] = v
+		}
+		label := false
+		if hasLabel {
+			label = rec[nCh] == "1" || rec[nCh] == "true"
+		}
+		s.Data = append(s.Data, vec)
+		s.Labels = append(s.Labels, label)
+	}
+	return s, nil
+}

@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCorpusShapes(t *testing.T) {
+	cfg := Config{Length: 600, SeriesCount: 2, Seed: 1}
+	cases := []struct {
+		name     string
+		gen      func(Config) *Corpus
+		channels int
+	}{
+		{"daphnet", Daphnet, 9},
+		{"exathlon", Exathlon, 19},
+		{"smd", SMD, 38},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			corpus := c.gen(cfg)
+			if corpus.Name != c.name {
+				t.Fatalf("Name = %q", corpus.Name)
+			}
+			if len(corpus.Series) != 2 {
+				t.Fatalf("series count = %d", len(corpus.Series))
+			}
+			for _, s := range corpus.Series {
+				if s.Len() != 600 {
+					t.Fatalf("series length = %d", s.Len())
+				}
+				if s.Channels() != c.channels {
+					t.Fatalf("channels = %d, want %d", s.Channels(), c.channels)
+				}
+				if len(s.Labels) != s.Len() {
+					t.Fatal("labels length mismatch")
+				}
+				for _, row := range s.Data {
+					for _, v := range row {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Fatal("non-finite value in generated series")
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAnomaliesPresentAndInEvalRegion(t *testing.T) {
+	cfg := Config{Length: 1000, SeriesCount: 1, Seed: 2}
+	for _, corpus := range All(cfg) {
+		s := corpus.Series[0]
+		rate := s.AnomalyRate()
+		if rate <= 0 {
+			t.Fatalf("%s has no anomalies", corpus.Name)
+		}
+		if rate > 0.4 {
+			t.Fatalf("%s anomaly rate %v too high", corpus.Name, rate)
+		}
+		// All anomalies are after the 45% evaluation boundary.
+		boundary := int(0.45 * float64(s.Len()))
+		for i := 0; i < boundary; i++ {
+			if s.Labels[i] {
+				t.Fatalf("%s has an anomaly at %d, before eval region %d", corpus.Name, i, boundary)
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := Daphnet(Config{Length: 300, SeriesCount: 1, Seed: 7})
+	b := Daphnet(Config{Length: 300, SeriesCount: 1, Seed: 7})
+	for i := range a.Series[0].Data {
+		for j := range a.Series[0].Data[i] {
+			if a.Series[0].Data[i][j] != b.Series[0].Data[i][j] {
+				t.Fatal("same seed must generate identical corpora")
+			}
+		}
+	}
+	c := Daphnet(Config{Length: 300, SeriesCount: 1, Seed: 8})
+	same := true
+	for i := range a.Series[0].Data {
+		for j := range a.Series[0].Data[i] {
+			if a.Series[0].Data[i][j] != c.Series[0].Data[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestFreezeAnomalyCollapsesVariance(t *testing.T) {
+	// Find a freeze interval in Daphnet and verify the signal variance
+	// inside is far below the variance just before it.
+	corpus := Daphnet(Config{Length: 2000, SeriesCount: 1, Seed: 3})
+	s := corpus.Series[0]
+	start, end := -1, -1
+	for i := 1; i < s.Len(); i++ {
+		if s.Labels[i] && !s.Labels[i-1] {
+			start = i
+		}
+		if start >= 0 && !s.Labels[i] && s.Labels[i-1] {
+			end = i
+			break
+		}
+	}
+	if start < 0 || end < 0 || end-start < 10 {
+		t.Skip("no usable freeze interval in this seed")
+	}
+	variance := func(lo, hi, ch int) float64 {
+		var sum, sumSq float64
+		n := float64(hi - lo)
+		for i := lo; i < hi; i++ {
+			v := s.Data[i][ch]
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	// Average over channels (a subset of channels is affected).
+	var inside, before float64
+	for ch := 0; ch < s.Channels(); ch++ {
+		inside += variance(start, end, ch)
+		before += variance(start-(end-start), start, ch)
+	}
+	if inside >= before {
+		t.Fatalf("freeze variance %v should be below pre-freeze %v", inside, before)
+	}
+}
+
+func TestSpikeAnomalyRaisesLevel(t *testing.T) {
+	corpus := SMD(Config{Length: 2000, SeriesCount: 1, Seed: 4})
+	s := corpus.Series[0]
+	var normalMax, anomMax float64
+	for i, row := range s.Data {
+		m := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		if s.Labels[i] {
+			if m > anomMax {
+				anomMax = m
+			}
+		} else if m > normalMax {
+			normalMax = m
+		}
+	}
+	if anomMax <= normalMax {
+		t.Fatalf("anomalous peaks (%v) should exceed normal peaks (%v)", anomMax, normalMax)
+	}
+}
+
+func TestScaleCount(t *testing.T) {
+	if scaleCount(10000, 5) != 5 {
+		t.Fatal("full-length scale")
+	}
+	if scaleCount(100, 5) != 2 {
+		t.Fatal("floor of 2")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	corpus := Daphnet(Config{Length: 50, SeriesCount: 1, Seed: 5})
+	s := corpus.Series[0]
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() || got.Channels() != s.Channels() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Len(), got.Channels(), s.Len(), s.Channels())
+	}
+	for i := range s.Data {
+		if got.Labels[i] != s.Labels[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for j := range s.Data[i] {
+			if got.Data[i][j] != s.Data[i][j] {
+				t.Fatalf("value mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVWithoutLabels(t *testing.T) {
+	in := "c0,c1\n1,2\n3,4\n"
+	s, err := ReadCSV(strings.NewReader(in), "nolabels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Channels() != 2 || s.Len() != 2 {
+		t.Fatalf("shape %dx%d", s.Len(), s.Channels())
+	}
+	if s.AnomalyRate() != 0 {
+		t.Fatal("labels should default to false")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty csv must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("c0,label\nnotanumber,0\n"), "x"); err == nil {
+		t.Fatal("bad float must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("label\n1\n"), "x"); err == nil {
+		t.Fatal("label-only csv must error")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Daphnet(Config{Length: 0, SeriesCount: 1})
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := &Series{}
+	if s.Channels() != 0 || s.AnomalyRate() != 0 {
+		t.Fatal("empty series helpers")
+	}
+}

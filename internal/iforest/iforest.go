@@ -1,0 +1,166 @@
+// Package iforest implements the extended isolation forest (Hariri et al.)
+// and its streaming variant PCB-iForest (Heigl et al.), which rates each
+// tree by a performance counter and, when concept drift is detected,
+// discards the negatively contributing trees and grows replacements from
+// the current training set.
+package iforest
+
+import (
+	"math"
+	"math/rand"
+)
+
+// node is one node of an extended isolation tree. Branching sends a point
+// s left when (s − intercept)·normal ≤ 0.
+type node struct {
+	left, right *node
+	normal      []float64
+	intercept   []float64
+	size        int // number of training points at this node (leaves)
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Tree is a single extended isolation tree.
+type Tree struct {
+	root     *node
+	maxDepth int
+	sample   int // points used to build the tree
+}
+
+const eulerGamma = 0.5772156649015329
+
+// harmonic approximates the i-th harmonic number.
+func harmonic(i float64) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return math.Log(i) + eulerGamma
+}
+
+// AvgPathLength is c(n), the expected path length of an unsuccessful BST
+// search among n points; it normalizes isolation depths.
+func AvgPathLength(n int) float64 {
+	f := float64(n)
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	default:
+		return 2*harmonic(f-1) - 2*(f-1)/f
+	}
+}
+
+// buildTree recursively grows an extended isolation tree over points.
+func buildTree(points [][]float64, depth, maxDepth int, rng *rand.Rand) *node {
+	n := len(points)
+	if n <= 1 || depth >= maxDepth {
+		return &node{size: n}
+	}
+	dim := len(points[0])
+	// Per-dimension bounds of the current subset.
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, points[0])
+	copy(hi, points[0])
+	for _, p := range points[1:] {
+		for d, v := range p {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	degenerate := true
+	for d := range lo {
+		if hi[d] > lo[d] {
+			degenerate = false
+			break
+		}
+	}
+	if degenerate {
+		// All points identical: cannot split.
+		return &node{size: n}
+	}
+	// Random hyperplane: slope from a standard normal, intercept uniform in
+	// the bounding box (the extended isolation forest's diagonal branches).
+	normal := make([]float64, dim)
+	for d := range normal {
+		normal[d] = rng.NormFloat64()
+	}
+	intercept := make([]float64, dim)
+	for d := range intercept {
+		intercept[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+	}
+	var left, right [][]float64
+	for _, p := range points {
+		var s float64
+		for d, v := range p {
+			s += (v - intercept[d]) * normal[d]
+		}
+		if s <= 0 {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		// Unlucky hyperplane missed the set; treat as leaf rather than
+		// recursing forever.
+		return &node{size: n}
+	}
+	return &node{
+		normal:    normal,
+		intercept: intercept,
+		left:      buildTree(left, depth+1, maxDepth, rng),
+		right:     buildTree(right, depth+1, maxDepth, rng),
+		size:      n,
+	}
+}
+
+// NewTree builds an extended isolation tree from the sample. The depth
+// limit is ⌈log2(len(sample))⌉ as in the original algorithm.
+func NewTree(sample [][]float64, rng *rand.Rand) *Tree {
+	maxDepth := int(math.Ceil(math.Log2(float64(len(sample)) + 1)))
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	return &Tree{
+		root:     buildTree(sample, 0, maxDepth, rng),
+		maxDepth: maxDepth,
+		sample:   len(sample),
+	}
+}
+
+// PathLength returns the isolation depth of point s, with the standard
+// c(size) adjustment at non-singleton leaves.
+func (t *Tree) PathLength(s []float64) float64 {
+	n := t.root
+	depth := 0.0
+	for !n.isLeaf() {
+		var v float64
+		for d, x := range s {
+			v += (x - n.intercept[d]) * n.normal[d]
+		}
+		if v <= 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+		depth++
+	}
+	return depth + AvgPathLength(n.size)
+}
+
+// Score converts an average path length over a forest built from n-point
+// samples into the isolation-forest anomaly score 2^(−E(h)/c(n)) ∈ (0,1].
+func Score(avgPath float64, n int) float64 {
+	c := AvgPathLength(n)
+	if c <= 0 {
+		return 0.5
+	}
+	return math.Pow(2, -avgPath/c)
+}

@@ -1,0 +1,131 @@
+package iforest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// nodeState is one tree node in the flattened pre-order encoding; Left
+// and Right index into the node list (−1 for leaves).
+type nodeState struct {
+	Left, Right int
+	Normal      []float64
+	Intercept   []float64
+	Size        int
+}
+
+// treeState is one flattened tree.
+type treeState struct {
+	Nodes    []nodeState
+	MaxDepth int
+	Sample   int
+}
+
+// state is the serializable form of a PCB-iForest.
+type state struct {
+	NumTrees  int
+	Subsample int
+	Threshold float64
+	Channels  int
+	Fitted    bool
+	Counters  []int
+	Trees     []treeState
+	Pruned    int
+	Grown     int
+}
+
+// flatten appends n (and recursively its children) to nodes, returning
+// its index.
+func flatten(n *node, nodes *[]nodeState) int {
+	idx := len(*nodes)
+	*nodes = append(*nodes, nodeState{Left: -1, Right: -1, Size: n.size})
+	if !n.isLeaf() {
+		ns := nodeState{
+			Size:      n.size,
+			Normal:    append([]float64(nil), n.normal...),
+			Intercept: append([]float64(nil), n.intercept...),
+		}
+		ns.Left = flatten(n.left, nodes)
+		ns.Right = flatten(n.right, nodes)
+		(*nodes)[idx] = ns
+	}
+	return idx
+}
+
+// rebuild reconstructs the node at index idx from the flat list.
+func rebuild(nodes []nodeState, idx int) (*node, error) {
+	if idx < 0 || idx >= len(nodes) {
+		return nil, fmt.Errorf("iforest: node index %d out of range", idx)
+	}
+	ns := nodes[idx]
+	n := &node{size: ns.Size}
+	if ns.Left < 0 {
+		return n, nil
+	}
+	n.normal = append([]float64(nil), ns.Normal...)
+	n.intercept = append([]float64(nil), ns.Intercept...)
+	var err error
+	if n.left, err = rebuild(nodes, ns.Left); err != nil {
+		return nil, err
+	}
+	if n.right, err = rebuild(nodes, ns.Right); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the full forest —
+// every tree's geometry plus the performance counters — so a restored
+// detector continues exactly where the saved one stopped.
+func (f *PCBForest) MarshalBinary() ([]byte, error) {
+	st := state{
+		NumTrees:  f.numTrees,
+		Subsample: f.subsample,
+		Threshold: f.threshold,
+		Channels:  f.channels,
+		Fitted:    f.fitted,
+		Counters:  append([]int(nil), f.counters...),
+		Pruned:    f.Pruned,
+		Grown:     f.Grown,
+	}
+	for _, t := range f.trees {
+		ts := treeState{MaxDepth: t.maxDepth, Sample: t.sample}
+		flatten(t.root, &ts.Nodes)
+		st.Trees = append(st.Trees, ts)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("iforest: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// channel count must match the snapshot (other knobs are restored).
+func (f *PCBForest) UnmarshalBinary(data []byte) error {
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("iforest: decode: %w", err)
+	}
+	if st.Channels != f.channels {
+		return fmt.Errorf("iforest: snapshot channels %d != model channels %d", st.Channels, f.channels)
+	}
+	trees := make([]*Tree, 0, len(st.Trees))
+	for _, ts := range st.Trees {
+		root, err := rebuild(ts.Nodes, 0)
+		if err != nil {
+			return err
+		}
+		trees = append(trees, &Tree{root: root, maxDepth: ts.MaxDepth, sample: ts.Sample})
+	}
+	f.numTrees = st.NumTrees
+	f.subsample = st.Subsample
+	f.threshold = st.Threshold
+	f.fitted = st.Fitted
+	f.counters = append([]int(nil), st.Counters...)
+	f.trees = trees
+	f.Pruned = st.Pruned
+	f.Grown = st.Grown
+	return nil
+}

@@ -1,0 +1,54 @@
+package knn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// state is the serializable form of the kNN model: the flattened
+// reference group and its normalization scale.
+type state struct {
+	K     int
+	Dim   int
+	Scale float64
+	Flat  []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	flat := make([]float64, 0, len(m.ref)*m.dim)
+	for _, r := range m.ref {
+		flat = append(flat, r...)
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(state{K: m.k, Dim: m.dim, Scale: m.scale, Flat: flat})
+	if err != nil {
+		return nil, fmt.Errorf("knn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's K
+// and Dim must match the snapshot.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("knn: decode: %w", err)
+	}
+	if st.K != m.k || st.Dim != m.dim {
+		return fmt.Errorf("knn: snapshot (k=%d dim=%d) does not match model (k=%d dim=%d)",
+			st.K, st.Dim, m.k, m.dim)
+	}
+	if len(st.Flat)%st.Dim != 0 {
+		return fmt.Errorf("knn: snapshot reference length %d not a multiple of dim %d", len(st.Flat), st.Dim)
+	}
+	n := len(st.Flat) / st.Dim
+	ref := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ref[i] = st.Flat[i*st.Dim : (i+1)*st.Dim]
+	}
+	m.ref = ref
+	m.scale = st.Scale
+	return nil
+}

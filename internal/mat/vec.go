@@ -1,0 +1,117 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of a and b. Panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b.
+// If either vector has (near-)zero norm the similarity is defined as 0,
+// so the cosine nonconformity 1−cos saturates at 1 for degenerate inputs.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na < 1e-300 || nb < 1e-300 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	// Clamp against floating-point drift outside [-1, 1].
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// AddTo computes dst[i] += alpha*src[i] in place and returns dst.
+func AddTo(dst []float64, alpha float64, src []float64) []float64 {
+	if len(dst) != len(src) {
+		panic("mat: AddTo length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+	return dst
+}
+
+// Sub returns a−b as a new slice.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mat: Sub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = v - b[i]
+	}
+	return out
+}
+
+// ScaleVec multiplies x by alpha in place and returns x.
+func ScaleVec(x []float64, alpha float64) []float64 {
+	for i := range x {
+		x[i] *= alpha
+	}
+	return x
+}
+
+// CloneVec returns a copy of x.
+func CloneVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Mean returns the arithmetic mean of x, or 0 for empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// MaxAbs returns the largest absolute element of x, or 0 for empty input.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNABProfilesOrdering(t *testing.T) {
+	n := 200
+	labels := make([]bool, n)
+	for i := 50; i < 70; i++ {
+		labels[i] = true
+	}
+	// One detection plus a handful of false positives.
+	scores := make([]float64, n)
+	scores[55] = 1
+	for _, fp := range []int{100, 120, 140} {
+		scores[fp] = 1
+	}
+	v := allValid(n)
+	std := NABScoreProfile(scores, labels, v, 0.5, StandardProfile())
+	lowFP := NABScoreProfile(scores, labels, v, 0.5, RewardLowFPProfile())
+	lowFN := NABScoreProfile(scores, labels, v, 0.5, RewardLowFNProfile())
+	// With FPs present, the low-FP profile must score the worst and the
+	// low-FN profile (which halves FP cost) the best.
+	if !(lowFP < std && std < lowFN) {
+		t.Fatalf("profile ordering wrong: lowFP=%v std=%v lowFN=%v", lowFP, std, lowFN)
+	}
+}
+
+func TestNABProfileMissPenalty(t *testing.T) {
+	n := 100
+	labels := make([]bool, n)
+	for i := 10; i < 20; i++ {
+		labels[i] = true
+	}
+	scores := make([]float64, n) // everything missed
+	v := allValid(n)
+	std := NABScoreProfile(scores, labels, v, 0.5, StandardProfile())
+	lowFN := NABScoreProfile(scores, labels, v, 0.5, RewardLowFNProfile())
+	if std != -1 {
+		t.Fatalf("standard miss = %v, want −1", std)
+	}
+	if lowFN != -2 {
+		t.Fatalf("low-FN miss = %v, want −2 (doubled AFN)", lowFN)
+	}
+}
+
+func TestNABProfileMatchesNABScore(t *testing.T) {
+	n := 150
+	labels := make([]bool, n)
+	for i := 90; i < 110; i++ {
+		labels[i] = true
+	}
+	scores := make([]float64, n)
+	scores[92] = 1
+	scores[30] = 1
+	v := allValid(n)
+	a := NABScore(scores, labels, v, 0.5)
+	b := NABScoreProfile(scores, labels, v, 0.5, StandardProfile())
+	if a != b {
+		t.Fatalf("NABScore (%v) must equal standard-profile score (%v)", a, b)
+	}
+}
+
+// TestNABUpperBoundProperty: the NAB score never exceeds 1 (perfect early
+// detection of every window with zero false positives) for any inputs.
+func TestNABUpperBoundProperty(t *testing.T) {
+	quickCheckNAB(t)
+}
+
+func quickCheckNAB(t *testing.T) {
+	t.Helper()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		labels := make([]bool, n)
+		scores := make([]float64, n)
+		for i := range labels {
+			labels[i] = rng.Intn(8) == 0
+			scores[i] = rng.Float64()
+		}
+		v := allValid(n)
+		for _, p := range []NABProfile{StandardProfile(), RewardLowFPProfile(), RewardLowFNProfile()} {
+			if NABScoreProfile(scores, labels, v, 0.5, p) > 1.0000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

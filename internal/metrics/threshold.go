@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// CalibrateThreshold picks a decision threshold from the score
+// distribution of the leading calibration fraction of valid steps: the
+// q-quantile of those scores. This is the standard streaming practice of
+// calibrating on an initial anomaly-free slice — the synthetic corpora
+// place all anomalies after the calibration region — and it adapts the
+// threshold to each scorer's output scale (raw cosine scores live near 0,
+// anomaly likelihoods near 1).
+func CalibrateThreshold(scores []float64, valid []bool, calibFrac, q float64) float64 {
+	if calibFrac <= 0 || calibFrac > 1 {
+		calibFrac = 0.2
+	}
+	if q <= 0 || q >= 1 {
+		q = 0.995
+	}
+	var vals []float64
+	limit := int(float64(len(scores)) * calibFrac)
+	seen := 0
+	for i, s := range scores {
+		if !valid[i] {
+			continue
+		}
+		seen++
+		if i >= limit && seen > 20 {
+			break
+		}
+		vals = append(vals, s)
+	}
+	if len(vals) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(vals)
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// QuantileThreshold returns the q-quantile of all valid scores. Unlike
+// CalibrateThreshold it uses the entire run, which keeps the decision
+// threshold meaningful when fine-tuning shifts the nonconformity scale
+// mid-stream — the convention most time-series anomaly benchmarks use for
+// their fixed-threshold metrics.
+func QuantileThreshold(scores []float64, valid []bool, q float64) float64 {
+	if q <= 0 || q >= 1 {
+		q = 0.99
+	}
+	var vals []float64
+	for i, s := range scores {
+		if valid[i] {
+			vals = append(vals, s)
+		}
+	}
+	if len(vals) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(vals)
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}

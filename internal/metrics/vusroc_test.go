@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVUSROCPerfectDetector(t *testing.T) {
+	n := 200
+	labels := make([]bool, n)
+	scores := make([]float64, n)
+	for i := 80; i < 100; i++ {
+		labels[i] = true
+		scores[i] = 1
+	}
+	v := allValid(n)
+	roc := VUSROC(scores, labels, v, 10, 4, 40)
+	if roc < 0.9 {
+		t.Fatalf("perfect detector VUS-ROC = %v, want ≈1", roc)
+	}
+}
+
+func TestVUSROCRandomNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	labels := make([]bool, n)
+	for i := 500; i < 560; i++ {
+		labels[i] = true
+	}
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	v := allValid(n)
+	roc := VUSROC(scores, labels, v, 10, 4, 40)
+	if roc < 0.35 || roc > 0.65 {
+		t.Fatalf("random detector VUS-ROC = %v, want ≈0.5", roc)
+	}
+}
+
+func TestVUSROCInvertedDetectorBelowHalf(t *testing.T) {
+	n := 300
+	labels := make([]bool, n)
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = 1
+	}
+	for i := 100; i < 140; i++ {
+		labels[i] = true
+		scores[i] = 0 // anti-correlated
+	}
+	v := allValid(n)
+	roc := VUSROC(scores, labels, v, 10, 4, 40)
+	if roc > 0.3 {
+		t.Fatalf("inverted detector VUS-ROC = %v, want near 0", roc)
+	}
+}
+
+func TestVUSROCDegenerate(t *testing.T) {
+	// No positives at all → 0.
+	n := 50
+	if got := VUSROC(make([]float64, n), make([]bool, n), allValid(n), 5, 2, 10); got != 0 {
+		t.Fatalf("no-positive VUS-ROC = %v", got)
+	}
+}

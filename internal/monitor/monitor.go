@@ -1,0 +1,191 @@
+// Package monitor runs many streaming anomaly detectors concurrently —
+// one per named stream — and fans their alerts into a single channel.
+// This is the deployment shape the paper's introduction motivates
+// (automatic monitoring of fleets of devices): each device's telemetry is
+// an independent stream with its own detector state, processed in
+// parallel, with one consumer draining alerts.
+//
+// Per-stream ordering is preserved (each stream has a dedicated worker
+// goroutine fed through a buffered channel); streams are independent and
+// proceed in parallel. Feed applies backpressure when a stream's buffer
+// is full.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"streamad/internal/core"
+	"streamad/internal/score"
+)
+
+// Stepper is the detector-side contract the monitor drives; it is
+// satisfied by both core.Detector and the public streamad.Detector.
+type Stepper interface {
+	Step(s []float64) (core.Result, bool)
+}
+
+// Alert is one threshold crossing on one stream.
+type Alert struct {
+	// Stream is the stream name passed to Feed.
+	Stream string
+	// Step is the 0-based index of the vector within its stream.
+	Step int
+	// Score is the anomaly score f_t that crossed the threshold.
+	Score float64
+	// Nonconformity is the raw a_t.
+	Nonconformity float64
+	// Threshold is the boundary in effect when the alert fired.
+	Threshold float64
+}
+
+// Config assembles a Monitor.
+type Config struct {
+	// NewDetector builds a fresh detector for a stream (required). It is
+	// called once per distinct stream name, serialized by the monitor.
+	NewDetector func(stream string) (Stepper, error)
+	// NewThresholder builds the per-stream alert policy (default: a
+	// streaming 0.99-quantile thresholder).
+	NewThresholder func(stream string) score.Thresholder
+	// Buffer is the per-stream queue length (default 64).
+	Buffer int
+	// AlertBuffer is the fan-in alert channel capacity (default 256).
+	AlertBuffer int
+}
+
+// Monitor multiplexes streams over per-stream detector workers.
+type Monitor struct {
+	cfg     Config
+	mu      sync.Mutex
+	streams map[string]*streamWorker
+	alerts  chan Alert
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type streamWorker struct {
+	name  string
+	in    chan []float64
+	det   Stepper
+	th    score.Thresholder
+	steps int
+}
+
+// ErrClosed is returned by Feed after Close.
+var ErrClosed = errors.New("monitor: closed")
+
+// New validates the configuration and returns a running Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.NewDetector == nil {
+		return nil, errors.New("monitor: NewDetector is required")
+	}
+	if cfg.NewThresholder == nil {
+		cfg.NewThresholder = func(string) score.Thresholder {
+			return score.NewQuantileThresholder(0.99)
+		}
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	if cfg.AlertBuffer <= 0 {
+		cfg.AlertBuffer = 256
+	}
+	return &Monitor{
+		cfg:     cfg,
+		streams: make(map[string]*streamWorker),
+		alerts:  make(chan Alert, cfg.AlertBuffer),
+	}, nil
+}
+
+// Alerts returns the fan-in alert channel. It is closed by Close after
+// all workers drain.
+func (m *Monitor) Alerts() <-chan Alert { return m.alerts }
+
+// Feed routes one stream vector to the named stream's detector, creating
+// the detector on first use. It blocks when the stream's buffer is full
+// (backpressure) and returns ErrClosed after Close.
+func (m *Monitor) Feed(stream string, s []float64) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	w, ok := m.streams[stream]
+	if !ok {
+		det, err := m.cfg.NewDetector(stream)
+		if err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("monitor: creating detector for %q: %w", stream, err)
+		}
+		w = &streamWorker{
+			name: stream,
+			in:   make(chan []float64, m.cfg.Buffer),
+			det:  det,
+			th:   m.cfg.NewThresholder(stream),
+		}
+		m.streams[stream] = w
+		m.wg.Add(1)
+		go m.run(w)
+	}
+	m.mu.Unlock()
+
+	// Copy: the caller may reuse its slice.
+	v := make([]float64, len(s))
+	copy(v, s)
+	w.in <- v
+	return nil
+}
+
+// run is the per-stream worker loop.
+func (m *Monitor) run(w *streamWorker) {
+	defer m.wg.Done()
+	for s := range w.in {
+		res, ok := w.det.Step(s)
+		step := w.steps
+		w.steps++
+		if !ok {
+			continue
+		}
+		th := w.th.Threshold()
+		if w.th.Alert(res.Score) {
+			m.alerts <- Alert{
+				Stream:        w.name,
+				Step:          step,
+				Score:         res.Score,
+				Nonconformity: res.Nonconformity,
+				Threshold:     th,
+			}
+		}
+	}
+}
+
+// Streams returns the names of all streams seen so far.
+func (m *Monitor) Streams() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.streams))
+	for name := range m.streams {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close stops accepting input, waits for every worker to drain its queue
+// and closes the alert channel. A consumer must keep draining Alerts()
+// while Close runs (or the alert buffer must be large enough), otherwise
+// workers block on the fan-in channel.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, w := range m.streams {
+		close(w.in)
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	close(m.alerts)
+}

@@ -1,0 +1,209 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"streamad/internal/core"
+	"streamad/internal/score"
+)
+
+// stubDetector flags every vector whose first element exceeds 1 with a
+// high score; ready after 3 steps.
+type stubDetector struct {
+	steps int
+}
+
+func (d *stubDetector) Step(s []float64) (core.Result, bool) {
+	d.steps++
+	if d.steps <= 3 {
+		return core.Result{}, false
+	}
+	score := 0.1
+	if s[0] > 1 {
+		score = 0.9
+	}
+	return core.Result{Score: score, Nonconformity: score}, true
+}
+
+func newTestMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	m, err := New(Config{
+		NewDetector: func(string) (Stepper, error) { return &stubDetector{}, nil },
+		NewThresholder: func(string) score.Thresholder {
+			return &score.StaticThresholder{T: 0.5}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMonitorRoutesAndAlerts(t *testing.T) {
+	m := newTestMonitor(t)
+	var got []Alert
+	done := make(chan struct{})
+	go func() {
+		for a := range m.Alerts() {
+			got = append(got, a)
+		}
+		close(done)
+	}()
+	for i := 0; i < 10; i++ {
+		v := 0.0
+		if i == 7 {
+			v = 5 // the anomaly
+		}
+		if err := m.Feed("dev-1", []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	<-done
+	if len(got) != 1 {
+		t.Fatalf("alerts = %v, want exactly 1", got)
+	}
+	a := got[0]
+	if a.Stream != "dev-1" || a.Step != 7 || a.Score != 0.9 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Threshold != 0.5 {
+		t.Fatalf("threshold = %v", a.Threshold)
+	}
+}
+
+func TestMonitorIsolatesStreams(t *testing.T) {
+	m := newTestMonitor(t)
+	var mu sync.Mutex
+	perStream := map[string]int{}
+	done := make(chan struct{})
+	go func() {
+		for a := range m.Alerts() {
+			mu.Lock()
+			perStream[a.Stream]++
+			mu.Unlock()
+		}
+		close(done)
+	}()
+	// Each stream needs its own 3-step warmup; anomalies at per-stream
+	// step 5 must alert on every stream independently.
+	for step := 0; step < 8; step++ {
+		for dev := 0; dev < 4; dev++ {
+			v := 0.0
+			if step == 5 {
+				v = 9
+			}
+			if err := m.Feed(fmt.Sprintf("dev-%d", dev), []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.Close()
+	<-done
+	if len(perStream) != 4 {
+		t.Fatalf("streams alerted = %v, want 4", perStream)
+	}
+	for dev, n := range perStream {
+		if n != 1 {
+			t.Fatalf("%s alerted %d times, want 1", dev, n)
+		}
+	}
+	if got := len(m.Streams()); got != 4 {
+		t.Fatalf("Streams() = %d", got)
+	}
+}
+
+func TestMonitorConcurrentFeeders(t *testing.T) {
+	m := newTestMonitor(t)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range m.Alerts() {
+			n++
+		}
+		done <- n
+	}()
+	var wg sync.WaitGroup
+	const feeders = 8
+	const perFeeder = 200
+	for f := 0; f < feeders; f++ {
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("stream-%d", f)
+			for i := 0; i < perFeeder; i++ {
+				v := 0.0
+				if i%50 == 10 && i > 3 {
+					v = 7
+				}
+				if err := m.Feed(name, []float64{v}); err != nil {
+					t.Errorf("feed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	m.Close()
+	n := <-done
+	// 4 anomalies per stream (i = 10, 60, 110, 160), all past warmup.
+	if n != feeders*4 {
+		t.Fatalf("alerts = %d, want %d", n, feeders*4)
+	}
+}
+
+func TestMonitorFeedAfterClose(t *testing.T) {
+	m := newTestMonitor(t)
+	go func() {
+		for range m.Alerts() {
+		}
+	}()
+	m.Close()
+	if err := m.Feed("x", []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Feed after Close = %v, want ErrClosed", err)
+	}
+	m.Close() // idempotent
+}
+
+func TestMonitorDetectorFactoryError(t *testing.T) {
+	m, err := New(Config{
+		NewDetector: func(stream string) (Stepper, error) {
+			return nil, errors.New("boom")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Feed("x", []float64{1}); err == nil {
+		t.Fatal("factory error must propagate")
+	}
+}
+
+func TestMonitorConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("NewDetector is required")
+	}
+}
+
+func TestMonitorDefaultThresholder(t *testing.T) {
+	m, err := New(Config{
+		NewDetector: func(string) (Stepper, error) { return &stubDetector{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range m.Alerts() {
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := m.Feed("d", []float64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+}

@@ -1,0 +1,406 @@
+// Package nbeats implements the N-BEATS forecaster (Oreshkin et al.) in
+// the streaming configuration the paper uses: the model forecasts the
+// stream vector s_t from the previous w−1 stream vectors contained in the
+// data representation. Each block maps its input through a fully connected
+// stack to expansion coefficients θᵇ, θᶠ that are projected onto backcast
+// and forecast basis vectors; blocks are chained with the double residual
+// topology x_{l+1} = x_l − x̂_l, ŷ = Σ_l ŷ_l.
+//
+// Two basis families are provided: the learned "generic" basis (default)
+// and fixed interpretable bases (polynomial trend, Fourier seasonality)
+// for the ablation study.
+package nbeats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamad/internal/nn"
+)
+
+// BasisKind selects the expansion basis of a block.
+type BasisKind int
+
+const (
+	// GenericBasis learns the basis vectors (a plain linear projection).
+	GenericBasis BasisKind = iota
+	// TrendBasis uses fixed low-order polynomials of time.
+	TrendBasis
+	// SeasonalityBasis uses fixed Fourier harmonics of time.
+	SeasonalityBasis
+)
+
+// String returns the basis name.
+func (b BasisKind) String() string {
+	switch b {
+	case GenericBasis:
+		return "generic"
+	case TrendBasis:
+		return "trend"
+	case SeasonalityBasis:
+		return "seasonality"
+	default:
+		return fmt.Sprintf("BasisKind(%d)", int(b))
+	}
+}
+
+// block is one N-BEATS block.
+type block struct {
+	stack  *nn.MLP     // input → hidden h_l
+	thetaB *nn.Linear  // h_l → θᵇ
+	thetaF *nn.Linear  // h_l → θᶠ
+	basisB *nn.Linear  // θᵇ → backcast (generic) …
+	basisF *nn.Linear  // θᶠ → forecast
+	fixedB [][]float64 // … or fixed basis matrices (rows = outputs)
+	fixedF [][]float64
+	kind   BasisKind
+}
+
+type blockCtx struct {
+	stackCtx  *nn.MLPContext
+	thetaBCtx []float64
+	thetaFCtx []float64
+	basisBCtx []float64
+	basisFCtx []float64
+	thetaB    []float64
+	thetaF    []float64
+}
+
+// Model is an N-BEATS forecaster over N-channel streams. Inputs are
+// standardized with per-dimension moments refreshed at every Fit, and
+// forecasts are mapped back to the original space.
+type Model struct {
+	blocks   []*block
+	opt      nn.Optimizer
+	scaler   *nn.Scaler
+	channels int
+	backLen  int // w−1 rows of history
+	inDim    int // backLen·channels
+	zbuf     []float64
+}
+
+// Config parameterizes N-BEATS.
+type Config struct {
+	// Channels is the stream dimensionality N.
+	Channels int
+	// BackcastRows is the history length in stream rows (w−1 when the data
+	// representation holds w rows including the forecast target).
+	BackcastRows int
+	// Blocks is the number of stacked blocks (default 3).
+	Blocks int
+	// Hidden is the FC-stack width (default 64).
+	Hidden int
+	// ThetaDim is the expansion-coefficient length per head (default 16).
+	ThetaDim int
+	// Basis selects the expansion basis for every block (default generic).
+	// For the interpretable configuration pass TrendBasis or
+	// SeasonalityBasis; mixed stacks can be built with NewInterpretable.
+	Basis BasisKind
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// New returns an initialized N-BEATS model with homogeneous blocks.
+func New(cfg Config) (*Model, error) {
+	bases := make([]BasisKind, defaultInt(cfg.Blocks, 3))
+	for i := range bases {
+		bases[i] = cfg.Basis
+	}
+	return newWithBases(cfg, bases)
+}
+
+// NewInterpretable returns the interpretable two-stack configuration of
+// the original paper: trend blocks followed by seasonality blocks.
+func NewInterpretable(cfg Config) (*Model, error) {
+	n := defaultInt(cfg.Blocks, 4)
+	if n < 2 {
+		n = 2
+	}
+	bases := make([]BasisKind, n)
+	for i := range bases {
+		if i < n/2 {
+			bases[i] = TrendBasis
+		} else {
+			bases[i] = SeasonalityBasis
+		}
+	}
+	return newWithBases(cfg, bases)
+}
+
+func defaultInt(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func newWithBases(cfg Config, bases []BasisKind) (*Model, error) {
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("nbeats: Channels must be positive, got %d", cfg.Channels)
+	}
+	if cfg.BackcastRows <= 0 {
+		return nil, fmt.Errorf("nbeats: BackcastRows must be positive, got %d", cfg.BackcastRows)
+	}
+	hidden := defaultInt(cfg.Hidden, 64)
+	theta := defaultInt(cfg.ThetaDim, 16)
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 1e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inDim := cfg.BackcastRows * cfg.Channels
+	outDim := cfg.Channels
+	m := &Model{
+		opt:      nn.NewAdam(lr),
+		scaler:   nn.NewScaler(inDim + outDim),
+		channels: cfg.Channels,
+		backLen:  cfg.BackcastRows,
+		inDim:    inDim,
+		zbuf:     make([]float64, inDim+outDim),
+	}
+	for _, kind := range bases {
+		b := &block{
+			stack:  nn.NewMLP([]int{inDim, hidden, hidden}, nn.ReLU{}, nn.ReLU{}, rng),
+			thetaB: nn.NewLinear(hidden, theta, rng),
+			thetaF: nn.NewLinear(hidden, theta, rng),
+			kind:   kind,
+		}
+		switch kind {
+		case GenericBasis:
+			b.basisB = nn.NewLinear(theta, inDim, rng)
+			b.basisF = nn.NewLinear(theta, outDim, rng)
+		case TrendBasis:
+			b.fixedB = polyBasis(cfg.BackcastRows, cfg.Channels, theta, inDim)
+			b.fixedF = polyForecastBasis(cfg.Channels, theta, outDim)
+		case SeasonalityBasis:
+			b.fixedB = fourierBasis(cfg.BackcastRows, cfg.Channels, theta, inDim)
+			b.fixedF = polyForecastBasis(cfg.Channels, theta, outDim)
+		}
+		m.blocks = append(m.blocks, b)
+	}
+	return m, nil
+}
+
+// polyBasis builds fixed polynomial backcast basis rows: output element
+// (row r, channel c) gets value t_r^k for coefficient k (channels share
+// coefficients, matching the shared-θ design for multivariate streams).
+func polyBasis(rows, channels, theta, outDim int) [][]float64 {
+	basis := make([][]float64, outDim)
+	for r := 0; r < rows; r++ {
+		t := float64(r) / float64(rows)
+		for c := 0; c < channels; c++ {
+			row := make([]float64, theta)
+			for k := 0; k < theta; k++ {
+				row[k] = math.Pow(t, float64(k%4)) // cap degree at 3
+			}
+			basis[r*channels+c] = row
+		}
+	}
+	return basis
+}
+
+// polyForecastBasis builds the forecast basis at horizon t=1.
+func polyForecastBasis(channels, theta, outDim int) [][]float64 {
+	basis := make([][]float64, outDim)
+	for c := 0; c < channels; c++ {
+		row := make([]float64, theta)
+		for k := 0; k < theta; k++ {
+			row[k] = 1 // t=1 ⇒ t^k = 1
+		}
+		basis[c] = row
+	}
+	return basis
+}
+
+// fourierBasis builds fixed Fourier backcast basis rows: harmonics of the
+// normalized time index, alternating cos/sin.
+func fourierBasis(rows, channels, theta, outDim int) [][]float64 {
+	basis := make([][]float64, outDim)
+	for r := 0; r < rows; r++ {
+		t := float64(r) / float64(rows)
+		for c := 0; c < channels; c++ {
+			row := make([]float64, theta)
+			for k := 0; k < theta; k++ {
+				h := float64(k/2 + 1)
+				if k%2 == 0 {
+					row[k] = math.Cos(2 * math.Pi * h * t)
+				} else {
+					row[k] = math.Sin(2 * math.Pi * h * t)
+				}
+			}
+			basis[r*channels+c] = row
+		}
+	}
+	return basis
+}
+
+// Channels returns N.
+func (m *Model) Channels() int { return m.channels }
+
+// BackcastRows returns the history length in rows.
+func (m *Model) BackcastRows() int { return m.backLen }
+
+// Blocks returns the number of blocks.
+func (m *Model) Blocks() int { return len(m.blocks) }
+
+// forward runs the residual stack, returning the total forecast and the
+// per-block contexts plus residual inputs needed for backprop.
+func (m *Model) forward(input []float64) (forecast []float64, ctxs []*blockCtx, residuals [][]float64) {
+	forecast = make([]float64, m.channels)
+	x := make([]float64, len(input))
+	copy(x, input)
+	for _, b := range m.blocks {
+		ctx := &blockCtx{}
+		h, sc := b.stack.Forward(x)
+		ctx.stackCtx = sc
+		var back, fore []float64
+		ctx.thetaB, ctx.thetaBCtx = b.thetaB.Forward(h)
+		ctx.thetaF, ctx.thetaFCtx = b.thetaF.Forward(h)
+		switch b.kind {
+		case GenericBasis:
+			back, ctx.basisBCtx = b.basisB.Forward(ctx.thetaB)
+			fore, ctx.basisFCtx = b.basisF.Forward(ctx.thetaF)
+		default:
+			back = applyFixed(b.fixedB, ctx.thetaB)
+			fore = applyFixed(b.fixedF, ctx.thetaF)
+		}
+		residuals = append(residuals, x)
+		nx := make([]float64, len(x))
+		for i := range x {
+			nx[i] = x[i] - back[i]
+		}
+		for i := range forecast {
+			forecast[i] += fore[i]
+		}
+		ctxs = append(ctxs, ctx)
+		x = nx
+	}
+	return forecast, ctxs, residuals
+}
+
+// applyFixed computes basis·θ for a fixed basis matrix stored row-wise.
+func applyFixed(basis [][]float64, theta []float64) []float64 {
+	out := make([]float64, len(basis))
+	for i, row := range basis {
+		var s float64
+		for k, v := range row {
+			s += v * theta[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// fixedGrad backpropagates gradOut through a fixed basis: ∂L/∂θ = Bᵀ·g.
+func fixedGrad(basis [][]float64, gradOut []float64) []float64 {
+	if len(basis) == 0 {
+		return nil
+	}
+	g := make([]float64, len(basis[0]))
+	for i, row := range basis {
+		go_ := gradOut[i]
+		if go_ == 0 {
+			continue
+		}
+		for k, v := range row {
+			g[k] += v * go_
+		}
+	}
+	return g
+}
+
+// Predict implements the framework model contract: given the feature
+// vector x ∈ R^{w×N} it forecasts the final row from the preceding w−1
+// rows, returning (target = s_t, prediction = ŝ_t).
+func (m *Model) Predict(x []float64) (target, pred []float64) {
+	rows := len(x) / m.channels
+	if rows*m.channels != len(x) || rows != m.backLen+1 {
+		panic(fmt.Sprintf("nbeats: expected %d rows of %d channels, got %d values",
+			m.backLen+1, m.channels, len(x)))
+	}
+	z := m.scaler.Transform(x, m.zbuf)
+	target = make([]float64, m.channels)
+	copy(target, x[m.backLen*m.channels:])
+	pred, _, _ = m.forward(z[:m.inDim])
+	return target, m.scaler.InverseSub(pred, pred, m.inDim)
+}
+
+// Fit refreshes the input scaler and runs one forecasting epoch
+// (per-sample Adam steps) over the training set.
+func (m *Model) Fit(set [][]float64) {
+	m.scaler.Fit(set)
+	for _, x := range set {
+		if len(x) != m.inDim+m.channels {
+			continue
+		}
+		m.step(m.scaler.Transform(x, m.zbuf))
+	}
+}
+
+// step trains on one standardized feature vector.
+func (m *Model) step(x []float64) {
+	input := x[:m.inDim]
+	target := x[m.inDim:]
+	forecast, ctxs, _ := m.forward(input)
+	_, gForecast := nn.MSELoss(forecast, target, nil)
+
+	// Backward through the residual topology: every block's forecast head
+	// receives gForecast; the residual gradient g_x flows backwards through
+	// x_{l+1} = x_l − x̂_l, so the block's backcast head receives −g_x and
+	// the block's FC stack accumulates both head gradients; g_x for block
+	// l−1 is g_x plus the stack's input gradient.
+	gx := make([]float64, m.inDim) // gradient wrt x after the last block: 0
+	for l := len(m.blocks) - 1; l >= 0; l-- {
+		b := m.blocks[l]
+		ctx := ctxs[l]
+		// Forecast head.
+		var gThetaF []float64
+		if b.kind == GenericBasis {
+			gThetaF = b.basisF.Backward(ctx.basisFCtx, gForecast)
+		} else {
+			gThetaF = fixedGrad(b.fixedF, gForecast)
+		}
+		// Backcast head: x̂_l enters as −g_x.
+		negGx := make([]float64, len(gx))
+		for i, v := range gx {
+			negGx[i] = -v
+		}
+		var gThetaB []float64
+		if b.kind == GenericBasis {
+			gThetaB = b.basisB.Backward(ctx.basisBCtx, negGx)
+		} else {
+			gThetaB = fixedGrad(b.fixedB, negGx)
+		}
+		gh := b.thetaF.Backward(ctx.thetaFCtx, gThetaF)
+		ghB := b.thetaB.Backward(ctx.thetaBCtx, gThetaB)
+		for i := range gh {
+			gh[i] += ghB[i]
+		}
+		gIn := b.stack.Backward(ctx.stackCtx, gh)
+		// Residual pass-through: x_{l+1} = x_l − x̂_l contributes g_x to the
+		// previous block's input gradient as well.
+		for i := range gx {
+			gx[i] += gIn[i]
+		}
+	}
+	params := m.params()
+	nn.ClipGrads(params, 5)
+	m.opt.Step(params)
+}
+
+func (m *Model) params() []*nn.Param {
+	var ps []*nn.Param
+	for _, b := range m.blocks {
+		ps = append(ps, b.stack.Params()...)
+		ps = append(ps, b.thetaB.Params()...)
+		ps = append(ps, b.thetaF.Params()...)
+		if b.kind == GenericBasis {
+			ps = append(ps, b.basisB.Params()...)
+			ps = append(ps, b.basisF.Params()...)
+		}
+	}
+	return ps
+}

@@ -1,0 +1,115 @@
+package nn
+
+import "math"
+
+// Activation is an element-wise nonlinearity with a context-passing
+// forward/backward pair.
+type Activation interface {
+	// Forward applies the activation and returns (y, ctx); ctx carries
+	// whatever Backward needs (typically y itself).
+	Forward(x []float64) (y, ctx []float64)
+	// Backward returns ∂L/∂x given ctx and ∂L/∂y.
+	Backward(ctx, gradOut []float64) []float64
+	// Name identifies the activation.
+	Name() string
+}
+
+// Sigmoid is σ(x) = 1/(1+e^{−x}).
+type Sigmoid struct{}
+
+// Forward implements Activation; ctx is the output y (σ' = y(1−y)).
+func (Sigmoid) Forward(x []float64) (y, ctx []float64) {
+	y = make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 1 / (1 + math.Exp(-v))
+	}
+	return y, y
+}
+
+// Backward implements Activation.
+func (Sigmoid) Backward(ctx, gradOut []float64) []float64 {
+	g := make([]float64, len(gradOut))
+	for i, go_ := range gradOut {
+		y := ctx[i]
+		g[i] = go_ * y * (1 - y)
+	}
+	return g
+}
+
+// Name implements Activation.
+func (Sigmoid) Name() string { return "sigmoid" }
+
+// ReLU is max(0, x).
+type ReLU struct{}
+
+// Forward implements Activation; ctx is the input x.
+func (ReLU) Forward(x []float64) (y, ctx []float64) {
+	y = make([]float64, len(x))
+	ctx = make([]float64, len(x))
+	copy(ctx, x)
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+		}
+	}
+	return y, ctx
+}
+
+// Backward implements Activation.
+func (ReLU) Backward(ctx, gradOut []float64) []float64 {
+	g := make([]float64, len(gradOut))
+	for i, go_ := range gradOut {
+		if ctx[i] > 0 {
+			g[i] = go_
+		}
+	}
+	return g
+}
+
+// Name implements Activation.
+func (ReLU) Name() string { return "relu" }
+
+// Tanh is the hyperbolic tangent.
+type Tanh struct{}
+
+// Forward implements Activation; ctx is the output y (tanh' = 1−y²).
+func (Tanh) Forward(x []float64) (y, ctx []float64) {
+	y = make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	return y, y
+}
+
+// Backward implements Activation.
+func (Tanh) Backward(ctx, gradOut []float64) []float64 {
+	g := make([]float64, len(gradOut))
+	for i, go_ := range gradOut {
+		y := ctx[i]
+		g[i] = go_ * (1 - y*y)
+	}
+	return g
+}
+
+// Name implements Activation.
+func (Tanh) Name() string { return "tanh" }
+
+// Identity passes values through unchanged (used for linear output layers).
+type Identity struct{}
+
+// Forward implements Activation.
+func (Identity) Forward(x []float64) (y, ctx []float64) {
+	y = make([]float64, len(x))
+	copy(y, x)
+	return y, nil
+}
+
+// Backward implements Activation.
+func (Identity) Backward(_, gradOut []float64) []float64 {
+	g := make([]float64, len(gradOut))
+	copy(g, gradOut)
+	return g
+}
+
+// Name implements Activation.
+func (Identity) Name() string { return "identity" }

@@ -1,0 +1,25 @@
+package nn
+
+// Clone returns a deep copy of the parameter (weights and gradients).
+func (p *Param) Clone() *Param {
+	q := &Param{W: make([]float64, len(p.W)), G: make([]float64, len(p.G))}
+	copy(q.W, p.W)
+	copy(q.G, p.G)
+	return q
+}
+
+// Clone returns a deep copy of the layer.
+func (l *Linear) Clone() *Linear {
+	return &Linear{In: l.In, Out: l.Out, Weight: l.Weight.Clone(), Bias: l.Bias.Clone()}
+}
+
+// Clone returns a deep copy of the MLP (activations are stateless and
+// shared).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Acts: make([]Activation, len(m.Acts))}
+	copy(c.Acts, m.Acts)
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, l.Clone())
+	}
+	return c
+}

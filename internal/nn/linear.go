@@ -1,0 +1,68 @@
+package nn
+
+import "math/rand"
+
+// Linear is a fully connected layer y = W·x + b with W ∈ R^{out×in}.
+type Linear struct {
+	In, Out int
+	Weight  *Param // row-major out×in
+	Bias    *Param // out
+}
+
+// NewLinear returns a Glorot-initialized fully connected layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(in * out),
+		Bias:   NewParam(out),
+	}
+	l.Weight.XavierInit(in, out, rng)
+	return l
+}
+
+// Forward computes y = W·x + b and returns y along with the context
+// (a copy of x) needed by Backward.
+func (l *Linear) Forward(x []float64) (y, ctx []float64) {
+	if len(x) != l.In {
+		panic("nn: Linear input dimension mismatch")
+	}
+	y = make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.Weight.W[o*l.In : (o+1)*l.In]
+		s := l.Bias.W[o]
+		for i, v := range x {
+			s += row[i] * v
+		}
+		y[o] = s
+	}
+	ctx = make([]float64, l.In)
+	copy(ctx, x)
+	return y, ctx
+}
+
+// Backward accumulates parameter gradients given the upstream gradient
+// gradOut = ∂L/∂y and the context from the matching Forward call, and
+// returns ∂L/∂x.
+func (l *Linear) Backward(ctx, gradOut []float64) []float64 {
+	if len(gradOut) != l.Out || len(ctx) != l.In {
+		panic("nn: Linear backward dimension mismatch")
+	}
+	gradIn := make([]float64, l.In)
+	for o, g := range gradOut {
+		if g == 0 {
+			continue
+		}
+		wrow := l.Weight.W[o*l.In : (o+1)*l.In]
+		grow := l.Weight.G[o*l.In : (o+1)*l.In]
+		l.Bias.G[o] += g
+		for i, xv := range ctx {
+			grow[i] += g * xv
+			gradIn[i] += g * wrow[i]
+		}
+	}
+	return gradIn
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }

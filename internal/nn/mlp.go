@@ -1,0 +1,93 @@
+package nn
+
+import "math/rand"
+
+// MLP is a stack of fully connected layers with per-layer activations.
+// It exposes a context-passing forward/backward pair so the same MLP can
+// run several forward passes before backpropagating each of them (as the
+// USAD encoder does).
+type MLP struct {
+	Layers []*Linear
+	Acts   []Activation
+}
+
+// MLPContext carries the per-layer contexts of one forward pass.
+type MLPContext struct {
+	linCtx [][]float64
+	actCtx [][]float64
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes [8,4,8]
+// produces Linear(8→4)+act, Linear(4→8)+outAct. Hidden layers use act;
+// the final layer uses outAct.
+func NewMLP(sizes []int, act, outAct Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least one layer")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(sizes[i], sizes[i+1], rng))
+		if i+2 < len(sizes) {
+			m.Acts = append(m.Acts, act)
+		} else {
+			m.Acts = append(m.Acts, outAct)
+		}
+	}
+	return m
+}
+
+// Forward runs a forward pass and returns the output with its context.
+func (m *MLP) Forward(x []float64) ([]float64, *MLPContext) {
+	ctx := &MLPContext{
+		linCtx: make([][]float64, len(m.Layers)),
+		actCtx: make([][]float64, len(m.Layers)),
+	}
+	h := x
+	for i, l := range m.Layers {
+		var lc, ac []float64
+		h, lc = l.Forward(h)
+		h, ac = m.Acts[i].Forward(h)
+		ctx.linCtx[i] = lc
+		ctx.actCtx[i] = ac
+	}
+	return h, ctx
+}
+
+// Backward backpropagates gradOut through the pass recorded in ctx,
+// accumulating parameter gradients, and returns the input gradient.
+func (m *MLP) Backward(ctx *MLPContext, gradOut []float64) []float64 {
+	g := gradOut
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Acts[i].Backward(ctx.actCtx[i], g)
+		g = m.Layers[i].Backward(ctx.linCtx[i], g)
+	}
+	return g
+}
+
+// Predict is Forward without keeping the context.
+func (m *MLP) Predict(x []float64) []float64 {
+	y, _ := m.Forward(x)
+	return y
+}
+
+// Params returns all parameters of the MLP.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (m *MLP) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// InDim returns the input dimensionality.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim returns the output dimensionality.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }

@@ -1,0 +1,69 @@
+// Package nn is a from-scratch neural-network substrate: fully connected
+// layers with manual backpropagation, sigmoid/ReLU/tanh activations, MSE
+// loss and SGD/Adam optimizers. Layers expose context-passing Forward/
+// Backward pairs so one parameter set can participate in several forward
+// passes per step — required by USAD's shared encoder and N-BEATS' double
+// residual stacks.
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a flat parameter tensor with its gradient accumulator.
+type Param struct {
+	W []float64 // weights
+	G []float64 // accumulated gradients
+}
+
+// NewParam allocates a zeroed parameter of n elements.
+func NewParam(n int) *Param {
+	return &Param{W: make([]float64, n), G: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// XavierInit fills W with uniform Glorot initialization for a layer with
+// the given fan-in and fan-out.
+func (p *Param) XavierInit(fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range p.W {
+		p.W[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// GradNorm returns the Euclidean norm of the gradient, used for clipping.
+func (p *Param) GradNorm() float64 {
+	var s float64
+	for _, g := range p.G {
+		s += g * g
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrads scales the gradients of params so their global norm does not
+// exceed maxNorm. It returns the pre-clip global norm.
+func ClipGrads(params []*Param, maxNorm float64) float64 {
+	var s float64
+	for _, p := range params {
+		for _, g := range p.G {
+			s += g * g
+		}
+	}
+	norm := math.Sqrt(s)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// mlpState is the serializable form of an MLP: per-layer weights and
+// biases plus activation names (validated on restore).
+type mlpState struct {
+	Sizes   []int
+	Acts    []string
+	Weights [][]float64
+	Biases  [][]float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: a gob snapshot of
+// the MLP's weights (optimizer state is not persisted; resumed training
+// restarts its moment estimates).
+func (m *MLP) MarshalBinary() ([]byte, error) {
+	st := mlpState{}
+	for i, l := range m.Layers {
+		if i == 0 {
+			st.Sizes = append(st.Sizes, l.In)
+		}
+		st.Sizes = append(st.Sizes, l.Out)
+		w := make([]float64, len(l.Weight.W))
+		copy(w, l.Weight.W)
+		b := make([]float64, len(l.Bias.W))
+		copy(b, l.Bias.W)
+		st.Weights = append(st.Weights, w)
+		st.Biases = append(st.Biases, b)
+	}
+	for _, a := range m.Acts {
+		st.Acts = append(st.Acts, a.Name())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("nn: encode MLP: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The receiver's
+// architecture (layer sizes and activations) must match the snapshot.
+func (m *MLP) UnmarshalBinary(data []byte) error {
+	var st mlpState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode MLP: %w", err)
+	}
+	if len(st.Weights) != len(m.Layers) {
+		return fmt.Errorf("nn: snapshot has %d layers, model has %d", len(st.Weights), len(m.Layers))
+	}
+	for i, l := range m.Layers {
+		if len(st.Weights[i]) != len(l.Weight.W) || len(st.Biases[i]) != len(l.Bias.W) {
+			return fmt.Errorf("nn: layer %d shape mismatch", i)
+		}
+		if st.Acts[i] != m.Acts[i].Name() {
+			return fmt.Errorf("nn: layer %d activation %q != %q", i, st.Acts[i], m.Acts[i].Name())
+		}
+	}
+	for i, l := range m.Layers {
+		copy(l.Weight.W, st.Weights[i])
+		copy(l.Bias.W, st.Biases[i])
+		l.Weight.ZeroGrad()
+		l.Bias.ZeroGrad()
+	}
+	return nil
+}
+
+// scalerState serializes both scaler kinds.
+type scalerState struct {
+	A []float64 // mean / lo
+	B []float64 // std / scale
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for Scaler.
+func (s *Scaler) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(scalerState{A: s.mean, B: s.std}); err != nil {
+		return nil, fmt.Errorf("nn: encode scaler: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for Scaler.
+func (s *Scaler) UnmarshalBinary(data []byte) error {
+	var st scalerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode scaler: %w", err)
+	}
+	if len(st.A) != len(s.mean) {
+		return fmt.Errorf("nn: scaler dim %d != %d", len(st.A), len(s.mean))
+	}
+	copy(s.mean, st.A)
+	copy(s.std, st.B)
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for MinMaxScaler.
+func (s *MinMaxScaler) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(scalerState{A: s.lo, B: s.scale}); err != nil {
+		return nil, fmt.Errorf("nn: encode minmax scaler: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for MinMaxScaler.
+func (s *MinMaxScaler) UnmarshalBinary(data []byte) error {
+	var st scalerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode minmax scaler: %w", err)
+	}
+	if len(st.A) != len(s.lo) {
+		return fmt.Errorf("nn: scaler dim %d != %d", len(st.A), len(s.lo))
+	}
+	copy(s.lo, st.A)
+	copy(s.scale, st.B)
+	return nil
+}

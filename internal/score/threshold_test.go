@@ -1,0 +1,110 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestStaticThresholder(t *testing.T) {
+	s := &StaticThresholder{T: 0.5}
+	if !s.Alert(0.5) || s.Alert(0.49) {
+		t.Fatal("static threshold boundary wrong")
+	}
+	if s.Threshold() != 0.5 || s.Name() != "static" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestQuantileThresholderTracksQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewQuantileThresholder(0.95)
+	vals := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64()
+		vals = append(vals, v)
+		q.Alert(v)
+	}
+	sort.Float64s(vals)
+	exact := vals[int(0.95*float64(len(vals)))]
+	got := q.Threshold()
+	if math.Abs(got-exact) > 0.15 {
+		t.Fatalf("P² estimate %v vs exact 95th percentile %v", got, exact)
+	}
+	if q.Count() != 5000 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+}
+
+func TestQuantileThresholderAlertRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := NewQuantileThresholder(0.99)
+	alerts := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if q.Alert(rng.Float64()) {
+			alerts++
+		}
+	}
+	rate := float64(alerts) / n
+	// On i.i.d. data the alert rate should approximate 1−q.
+	if rate < 0.002 || rate > 0.05 {
+		t.Fatalf("alert rate = %v, want ≈0.01", rate)
+	}
+}
+
+func TestQuantileThresholderDetectsOutlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := NewQuantileThresholder(0.99)
+	for i := 0; i < 1000; i++ {
+		q.Alert(0.1 + 0.01*rng.NormFloat64())
+	}
+	if !q.Alert(0.9) {
+		t.Fatal("large outlier must alert")
+	}
+	if q.Alert(0.1) {
+		t.Fatal("baseline value must not alert")
+	}
+}
+
+func TestQuantileThresholderColdStart(t *testing.T) {
+	q := NewQuantileThresholder(0.9)
+	for i := 0; i < 4; i++ {
+		if q.Alert(float64(i)) {
+			t.Fatal("must not alert before five observations")
+		}
+	}
+	if !math.IsInf(q.Threshold(), 1) {
+		t.Fatal("threshold should be +Inf during cold start")
+	}
+}
+
+func TestQuantileThresholderAdaptsToShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := NewQuantileThresholder(0.95)
+	for i := 0; i < 2000; i++ {
+		q.Alert(rng.NormFloat64())
+	}
+	before := q.Threshold()
+	for i := 0; i < 8000; i++ {
+		q.Alert(10 + rng.NormFloat64())
+	}
+	after := q.Threshold()
+	if after <= before+5 {
+		t.Fatalf("threshold did not adapt to a level shift: %v → %v", before, after)
+	}
+}
+
+func TestQuantileThresholderPanicsOnBadQ(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("q=%v should panic", q)
+				}
+			}()
+			NewQuantileThresholder(q)
+		}()
+	}
+}

@@ -1,0 +1,300 @@
+// Package server exposes the streaming anomaly detectors over HTTP with a
+// minimal JSON API, so non-Go producers can push telemetry and consume
+// anomaly scores. It builds on the concurrent monitor: each stream id gets
+// its own detector and thresholder.
+//
+//	POST /v1/streams/{id}/observe   {"vector": [..]}        → score + alert
+//	GET  /v1/streams                                         → stream list
+//	GET  /v1/streams/{id}                                    → stream stats
+//	GET  /healthz                                            → 200 ok
+//
+// Observe is synchronous (the detector runs in the request handler, with
+// one lock per stream), which gives producers backpressure for free and
+// returns the score in the response.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"streamad/internal/core"
+	"streamad/internal/score"
+)
+
+// Stepper is the per-stream detector contract.
+type Stepper interface {
+	Step(s []float64) (core.Result, bool)
+}
+
+// Config assembles a Server.
+type Config struct {
+	// NewDetector builds a detector for a new stream id (required).
+	NewDetector func(stream string) (Stepper, error)
+	// NewThresholder builds the per-stream alert policy (default: a
+	// streaming 0.99-quantile).
+	NewThresholder func(stream string) score.Thresholder
+	// MaxStreams bounds the number of live streams (default 1024).
+	MaxStreams int
+}
+
+// Server is an http.Handler serving the scoring API.
+type Server struct {
+	cfg     Config
+	mu      sync.Mutex
+	streams map[string]*stream
+	mux     *http.ServeMux
+}
+
+type stream struct {
+	mu     sync.Mutex
+	det    Stepper
+	th     score.Thresholder
+	steps  int
+	ready  int
+	alerts int
+}
+
+// New validates the configuration and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.NewDetector == nil {
+		return nil, fmt.Errorf("server: NewDetector is required")
+	}
+	if cfg.NewThresholder == nil {
+		cfg.NewThresholder = func(string) score.Thresholder {
+			return score.NewQuantileThresholder(0.99)
+		}
+	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = 1024
+	}
+	s := &Server{cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/streams", s.handleList)
+	s.mux.HandleFunc("/v1/streams/", s.handleStream)
+	return s, nil
+}
+
+// handleMetrics exposes per-stream counters in the Prometheus text
+// exposition format, so the daemon plugs into standard scraping setups
+// without any dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	type row struct {
+		id                   string
+		steps, ready, alerts int
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.streams))
+	for id, st := range s.streams {
+		st.mu.Lock()
+		rows = append(rows, row{id: id, steps: st.steps, ready: st.ready, alerts: st.alerts})
+		st.mu.Unlock()
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintln(w, "# HELP streamad_steps_total Stream vectors observed per stream.")
+	fmt.Fprintln(w, "# TYPE streamad_steps_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "streamad_steps_total{stream=%q} %d\n", r.id, r.steps)
+	}
+	fmt.Fprintln(w, "# HELP streamad_ready_steps_total Scored (post-warmup) steps per stream.")
+	fmt.Fprintln(w, "# TYPE streamad_ready_steps_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "streamad_ready_steps_total{stream=%q} %d\n", r.id, r.ready)
+	}
+	fmt.Fprintln(w, "# HELP streamad_alerts_total Threshold crossings per stream.")
+	fmt.Fprintln(w, "# TYPE streamad_alerts_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "streamad_alerts_total{stream=%q} %d\n", r.id, r.alerts)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// streamListEntry is one row of GET /v1/streams.
+type streamListEntry struct {
+	ID     string `json:"id"`
+	Steps  int    `json:"steps"`
+	Alerts int    `json:"alerts"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	out := make([]streamListEntry, 0, len(s.streams))
+	for id, st := range s.streams {
+		st.mu.Lock()
+		out = append(out, streamListEntry{ID: id, Steps: st.steps, Alerts: st.alerts})
+		st.mu.Unlock()
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// observeRequest is the POST body of /v1/streams/{id}/observe.
+type observeRequest struct {
+	Vector []float64 `json:"vector"`
+}
+
+// ObserveResponse is the scoring result returned to the producer.
+type ObserveResponse struct {
+	Ready         bool    `json:"ready"`
+	Score         float64 `json:"score"`
+	Nonconformity float64 `json:"nonconformity"`
+	Alert         bool    `json:"alert"`
+	Threshold     float64 `json:"threshold,omitempty"`
+	FineTuned     bool    `json:"fine_tuned,omitempty"`
+	Step          int     `json:"step"`
+}
+
+// StatsResponse is GET /v1/streams/{id}.
+type StatsResponse struct {
+	ID     string `json:"id"`
+	Steps  int    `json:"steps"`
+	Ready  int    `json:"ready_steps"`
+	Alerts int    `json:"alerts"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/streams/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+	if id == "" {
+		http.Error(w, "missing stream id", http.StatusBadRequest)
+		return
+	}
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		s.handleStats(w, id)
+	case len(parts) == 2 && parts[1] == "observe" && r.Method == http.MethodPost:
+		s.handleObserve(w, r, id)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (s *Server) getOrCreate(id string) (*stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[id]
+	if ok {
+		return st, nil
+	}
+	if len(s.streams) >= s.cfg.MaxStreams {
+		return nil, fmt.Errorf("stream limit %d reached", s.cfg.MaxStreams)
+	}
+	det, err := s.cfg.NewDetector(id)
+	if err != nil {
+		return nil, err
+	}
+	st = &stream{det: det, th: s.cfg.NewThresholder(id)}
+	s.streams[id] = st
+	return st, nil
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
+	var req observeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Vector) == 0 {
+		http.Error(w, "empty vector", http.StatusBadRequest)
+		return
+	}
+	st, err := s.getOrCreate(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	step := st.steps
+	st.steps++
+	res, ok := safeStep(st.det, req.Vector)
+	if !ok.ok {
+		if ok.panicked {
+			http.Error(w, "vector shape does not match this stream's detector", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, ObserveResponse{Ready: false, Step: step})
+		return
+	}
+	st.ready++
+	resp := ObserveResponse{
+		Ready:         true,
+		Score:         res.Score,
+		Nonconformity: res.Nonconformity,
+		FineTuned:     res.FineTuned,
+		Step:          step,
+	}
+	resp.Threshold = st.th.Threshold()
+	if st.th.Alert(res.Score) {
+		resp.Alert = true
+		st.alerts++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stepOutcome distinguishes "warming up" from "panicked on bad input".
+type stepOutcome struct {
+	ok       bool
+	panicked bool
+}
+
+// safeStep runs the detector step, converting dimension-mismatch panics
+// (the detectors' contract for programmer error) into client errors.
+func safeStep(det Stepper, v []float64) (res core.Result, out stepOutcome) {
+	defer func() {
+		if recover() != nil {
+			out = stepOutcome{ok: false, panicked: true}
+		}
+	}()
+	r, ready := det.Step(v)
+	if !ready {
+		return core.Result{}, stepOutcome{}
+	}
+	return r, stepOutcome{ok: true}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	st, ok := s.streams[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown stream", http.StatusNotFound)
+		return
+	}
+	st.mu.Lock()
+	resp := StatsResponse{ID: id, Steps: st.steps, Ready: st.ready, Alerts: st.alerts}
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing sensible left to do.
+		_ = err
+	}
+}

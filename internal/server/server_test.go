@@ -1,0 +1,259 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"streamad/internal/core"
+	"streamad/internal/score"
+)
+
+// stubDetector mirrors the monitor test stub: ready after 2 steps, high
+// score when the first element exceeds 1; panics on wrong dimensionality.
+type stubDetector struct {
+	dim   int
+	steps int
+}
+
+func (d *stubDetector) Step(s []float64) (core.Result, bool) {
+	if len(s) != d.dim {
+		panic("dim mismatch")
+	}
+	d.steps++
+	if d.steps <= 2 {
+		return core.Result{}, false
+	}
+	v := 0.05
+	if s[0] > 1 {
+		v = 0.95
+	}
+	return core.Result{Score: v, Nonconformity: v}, true
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := New(Config{
+		NewDetector: func(string) (Stepper, error) { return &stubDetector{dim: 2}, nil },
+		NewThresholder: func(string) score.Thresholder {
+			return &score.StaticThresholder{T: 0.5}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func observe(t *testing.T, ts *httptest.Server, stream string, vec []float64) (ObserveResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]interface{}{"vector": vec})
+	resp, err := http.Post(ts.URL+"/v1/streams/"+stream+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ObserveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestObserveLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	// Warmup steps report not-ready.
+	for i := 0; i < 2; i++ {
+		out, code := observe(t, ts, "dev1", []float64{0, 0})
+		if code != http.StatusOK || out.Ready {
+			t.Fatalf("warmup step %d: code=%d ready=%v", i, code, out.Ready)
+		}
+	}
+	// Normal step: ready, no alert.
+	out, _ := observe(t, ts, "dev1", []float64{0, 0})
+	if !out.Ready || out.Alert || out.Score != 0.05 {
+		t.Fatalf("normal = %+v", out)
+	}
+	// Anomalous step: alert.
+	out, _ = observe(t, ts, "dev1", []float64{9, 0})
+	if !out.Alert || out.Score != 0.95 {
+		t.Fatalf("anomaly = %+v", out)
+	}
+	if out.Threshold != 0.5 {
+		t.Fatalf("threshold = %v", out.Threshold)
+	}
+}
+
+func TestStatsAndList(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		observe(t, ts, "a", []float64{0, 0})
+	}
+	observe(t, ts, "a", []float64{5, 0})
+	observe(t, ts, "b", []float64{0, 0})
+
+	resp, err := http.Get(ts.URL + "/v1/streams/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Steps != 6 || stats.Ready != 4 || stats.Alerts != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []streamListEntry
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 2 || list[0].ID != "a" || list[1].ID != "b" {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	ts := newTestServer(t)
+	// Bad JSON.
+	resp, err := http.Post(ts.URL+"/v1/streams/x/observe", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", resp.StatusCode)
+	}
+	// Empty vector.
+	if _, code := observe(t, ts, "x", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty vector = %d", code)
+	}
+	// Wrong dimensionality (detector panics → 400).
+	observe(t, ts, "x", []float64{1, 2})
+	if _, code := observe(t, ts, "x", []float64{1, 2, 3}); code != http.StatusBadRequest {
+		t.Fatalf("dim mismatch = %d", code)
+	}
+	// Unknown stream stats.
+	resp, err = http.Get(ts.URL + "/v1/streams/never-seen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream = %d", resp.StatusCode)
+	}
+	// Unknown route and method.
+	resp, err = http.Get(ts.URL + "/v1/streams/x/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET observe = %d", resp.StatusCode)
+	}
+}
+
+func TestStreamLimit(t *testing.T) {
+	srv, err := New(Config{
+		NewDetector: func(string) (Stepper, error) { return &stubDetector{dim: 1}, nil },
+		MaxStreams:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for i, want := range []int{http.StatusOK, http.StatusOK, http.StatusServiceUnavailable} {
+		body, _ := json.Marshal(map[string]interface{}{"vector": []float64{1}})
+		resp, err := http.Post(fmt.Sprintf("%s/v1/streams/s%d/observe", ts.URL, i), "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("stream %d = %d, want %d", i, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestFactoryError(t *testing.T) {
+	srv, err := New(Config{
+		NewDetector: func(string) (Stepper, error) { return nil, errors.New("boom") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]interface{}{"vector": []float64{1}})
+	resp, err := http.Post(ts.URL+"/v1/streams/x/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("factory error = %d", resp.StatusCode)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("NewDetector required")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 4; i++ {
+		observe(t, ts, "m1", []float64{0, 0})
+	}
+	observe(t, ts, "m1", []float64{7, 0}) // alert
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, line := range []string{
+		`streamad_steps_total{stream="m1"} 5`,
+		`streamad_ready_steps_total{stream="m1"} 3`,
+		`streamad_alerts_total{stream="m1"} 1`,
+	} {
+		if !bytes.Contains([]byte(body), []byte(line)) {
+			t.Fatalf("metrics missing %q in:\n%s", line, body)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package usad
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// state is the serializable form of USAD: the three networks, the input
+// normalization and the adversarial schedule position.
+type state struct {
+	Dim    int
+	Latent int
+	Epoch  int
+	Enc    []byte
+	Dec1   []byte
+	Dec2   []byte
+	Scaler []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	enc, err := m.enc.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	d1, err := m.dec1.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	d2, err := m.dec2.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := m.scaler.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(state{
+		Dim: m.dim, Latent: m.latent, Epoch: m.epoch,
+		Enc: enc, Dec1: d1, Dec2: d2, Scaler: sc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("usad: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver must
+// have been constructed with the same Config dimensions.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("usad: decode: %w", err)
+	}
+	if st.Dim != m.dim || st.Latent != m.latent {
+		return fmt.Errorf("usad: snapshot (dim=%d z=%d) does not match model (dim=%d z=%d)",
+			st.Dim, st.Latent, m.dim, m.latent)
+	}
+	if err := m.enc.UnmarshalBinary(st.Enc); err != nil {
+		return err
+	}
+	if err := m.dec1.UnmarshalBinary(st.Dec1); err != nil {
+		return err
+	}
+	if err := m.dec2.UnmarshalBinary(st.Dec2); err != nil {
+		return err
+	}
+	if err := m.scaler.UnmarshalBinary(st.Scaler); err != nil {
+		return err
+	}
+	m.epoch = st.Epoch
+	return nil
+}

@@ -1,0 +1,259 @@
+// Package usad implements USAD (Audibert et al., KDD 2020): an adversarial
+// autoencoder with one shared encoder E and two decoders D₁, D₂. Training
+// alternates two objectives whose adversarial weight grows with the epoch
+// counter n:
+//
+//	L_AE1 = (1/n)·R₁ + ((n−1)/n)·R_both   (minimized by E, D₁)
+//	L_AE2 = (1/n)·R₂ − ((n−1)/n)·R_both   (minimized by E, D₂)
+//
+// with R_i = ‖x − AE_i(x)‖² and R_both = ‖x − AE₂(AE₁(x))‖². AE₁ learns to
+// reconstruct well enough that AE₂ cannot tell its output from real data,
+// while AE₂ learns to amplify reconstruction errors — which is what makes
+// the two-pass reconstruction sensitive to anomalies.
+//
+// As in the original implementation, inputs are min-max normalized to
+// [0,1] (refreshed at every Fit, so the normalization is part of θ_model)
+// and, as in the reference implementation, hidden layers use ReLU with
+// sigmoid decoder outputs; the bounded decoders are what
+// keep the adversarial maximization of R_both from diverging.
+package usad
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamad/internal/nn"
+)
+
+// Model is a USAD adversarial autoencoder over min-max normalized inputs.
+type Model struct {
+	enc    *nn.MLP // E:  dim → z (3 FC layers)
+	dec1   *nn.MLP // D₁: z → dim (3 FC layers)
+	dec2   *nn.MLP // D₂: z → dim (3 FC layers)
+	opt1   nn.Optimizer
+	opt2   nn.Optimizer
+	scaler *nn.MinMaxScaler
+	dim    int
+	latent int
+	epoch  int // adversarial schedule counter n
+	zbuf   []float64
+	// Alpha/Beta weight the two reconstruction errors in the inference
+	// score ½·(α·R₁ + β·R_both); defaults 0.5/0.5.
+	Alpha, Beta float64
+}
+
+// Config parameterizes USAD.
+type Config struct {
+	// Dim is the flattened feature-vector length N·w.
+	Dim int
+	// Latent is the bottleneck width Z ≪ w (default max(Dim/8, 2)).
+	Latent int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// New returns an initialized USAD model.
+func New(cfg Config) (*Model, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("usad: Dim must be positive, got %d", cfg.Dim)
+	}
+	z := cfg.Latent
+	if z == 0 {
+		z = cfg.Dim / 8
+	}
+	if z < 2 {
+		z = 2
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 1e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.Dim
+	h1, h2 := mid(d, z), mid2(d, z)
+	encSizes := []int{d, h1, h2, z}
+	decSizes := []int{z, h2, h1, d}
+	return &Model{
+		enc:    nn.NewMLP(encSizes, nn.ReLU{}, nn.ReLU{}, rng),
+		dec1:   nn.NewMLP(decSizes, nn.ReLU{}, nn.Sigmoid{}, rng),
+		dec2:   nn.NewMLP(decSizes, nn.ReLU{}, nn.Sigmoid{}, rng),
+		opt1:   nn.NewAdam(lr),
+		opt2:   nn.NewAdam(lr),
+		scaler: nn.NewMinMaxScaler(d),
+		dim:    d,
+		latent: z,
+		zbuf:   make([]float64, d),
+		Alpha:  0.5,
+		Beta:   0.5,
+	}, nil
+}
+
+// mid and mid2 pick intermediate layer widths between dim and latent.
+func mid(d, z int) int {
+	m := (d + z) / 2
+	if m < z {
+		m = z
+	}
+	return m
+}
+
+func mid2(d, z int) int {
+	m := (d + 3*z) / 4
+	if m < z {
+		m = z
+	}
+	return m
+}
+
+// Clone returns a deep copy of the model parameters and adversarial
+// schedule. The optimizers' moment estimates are not copied: a clone is
+// intended as a frozen "before fine-tuning" snapshot (Figure 1); if it is
+// trained further it starts with fresh Adam state.
+func (m *Model) Clone() *Model {
+	return &Model{
+		enc:    m.enc.Clone(),
+		dec1:   m.dec1.Clone(),
+		dec2:   m.dec2.Clone(),
+		opt1:   nn.NewAdam(1e-3),
+		opt2:   nn.NewAdam(1e-3),
+		scaler: m.scaler.Clone(),
+		dim:    m.dim,
+		latent: m.latent,
+		epoch:  m.epoch,
+		zbuf:   make([]float64, m.dim),
+		Alpha:  m.Alpha,
+		Beta:   m.Beta,
+	}
+}
+
+// Dim returns the feature-vector length.
+func (m *Model) Dim() int { return m.dim }
+
+// Latent returns the bottleneck width.
+func (m *Model) Latent() int { return m.latent }
+
+// Epoch returns the adversarial schedule counter n.
+func (m *Model) Epoch() int { return m.epoch }
+
+// ae1 computes AE₁(x) = D₁(E(x)).
+func (m *Model) ae1(x []float64) []float64 {
+	return m.dec1.Predict(m.enc.Predict(x))
+}
+
+// Predict implements the framework model contract: target is the feature
+// vector, prediction is the USAD inference reconstruction — the blend
+// α·AE₁(x) + β·AE₂(AE₁(x)) mirroring the original paper's inference score
+// α·R₁ + β·R_both — mapped back to the original space. The second term is
+// the adversarially amplified two-pass reconstruction that makes the error
+// spike on anomalous inputs.
+func (m *Model) Predict(x []float64) (target, pred []float64) {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("usad: expected %d values, got %d", m.dim, len(x)))
+	}
+	z := m.scaler.Transform(x, m.zbuf)
+	w1 := m.ae1(z)
+	w3 := m.dec2.Predict(m.enc.Predict(w1))
+	out := make([]float64, m.dim)
+	for i := range out {
+		out[i] = m.Alpha*w1[i] + m.Beta*w3[i]
+	}
+	return x, m.scaler.Inverse(out, out)
+}
+
+// Reconstructions returns (AE₁(x), AE₂(AE₁(x))) in the original space for
+// the blended inference score used by the Figure 1 experiment.
+func (m *Model) Reconstructions(x []float64) (r1, rBoth []float64) {
+	z := m.scaler.Transform(x, m.zbuf)
+	w1 := m.ae1(z)
+	w3 := m.dec2.Predict(m.enc.Predict(w1))
+	return m.scaler.Inverse(w1, nil), m.scaler.Inverse(w3, nil)
+}
+
+// Fit refreshes the input scaler and runs one adversarial training epoch
+// over the training set, incrementing the schedule counter n, exactly one
+// optimizer step per sample per objective.
+func (m *Model) Fit(set [][]float64) {
+	m.scaler.Fit(set)
+	m.epoch++
+	n := float64(m.epoch)
+	wRec := 1 / n
+	wAdv := (n - 1) / n
+	for _, x := range set {
+		if len(x) != m.dim {
+			continue
+		}
+		z := m.scaler.Transform(x, m.zbuf)
+		m.stepAE1(z, wRec, wAdv)
+		m.stepAE2(z, wRec, wAdv)
+	}
+}
+
+// stepAE1 minimizes L_AE1 = wRec·R₁ + wAdv·R_both over (E, D₁). Gradients
+// flow through D₂/E on the R_both path but only E and D₁ are stepped.
+func (m *Model) stepAE1(x []float64, wRec, wAdv float64) {
+	// Forward: z = E(x); w1 = D1(z); z3 = E(w1); w3 = D2(z3).
+	z, encCtx := m.enc.Forward(x)
+	w1, dec1Ctx := m.dec1.Forward(z)
+	z3, encCtx3 := m.enc.Forward(w1)
+	w3, dec2Ctx3 := m.dec2.Forward(z3)
+
+	// R₁ gradient path.
+	_, g1 := nn.MSELoss(w1, x, nil)
+	for i := range g1 {
+		g1[i] *= wRec
+	}
+	// R_both gradient path (through D₂ and the second E pass into w1).
+	_, g3 := nn.MSELoss(w3, x, nil)
+	for i := range g3 {
+		g3[i] *= wAdv
+	}
+	gz3 := m.dec2.Backward(dec2Ctx3, g3)
+	gw1FromBoth := m.enc.Backward(encCtx3, gz3)
+	// Total gradient into w1 combines both paths, then flows through D₁, E.
+	for i := range g1 {
+		g1[i] += gw1FromBoth[i]
+	}
+	gz := m.dec1.Backward(dec1Ctx, g1)
+	m.enc.Backward(encCtx, gz)
+
+	// Step only E and D₁; discard gradients parked on D₂.
+	params := append(m.enc.Params(), m.dec1.Params()...)
+	nn.ClipGrads(params, 5)
+	m.opt1.Step(params)
+	m.dec2.ZeroGrad()
+}
+
+// stepAE2 minimizes L_AE2 = wRec·R₂ − wAdv·R_both over (E, D₂). AE₁ output
+// is treated as a constant on the R_both path.
+func (m *Model) stepAE2(x []float64, wRec, wAdv float64) {
+	// Forward: z = E(x); w2 = D2(z); w1 = AE1(x) (constant); z3 = E(w1);
+	// w3 = D2(z3).
+	z, encCtx := m.enc.Forward(x)
+	w2, dec2Ctx := m.dec2.Forward(z)
+	w1 := m.ae1(x)
+	z3, encCtx3 := m.enc.Forward(w1)
+	w3, dec2Ctx3 := m.dec2.Forward(z3)
+
+	// R₂ path (positive weight).
+	_, g2 := nn.MSELoss(w2, x, nil)
+	for i := range g2 {
+		g2[i] *= wRec
+	}
+	gz := m.dec2.Backward(dec2Ctx, g2)
+	m.enc.Backward(encCtx, gz)
+
+	// R_both path (negative weight: D₂ learns to amplify the error).
+	_, g3 := nn.MSELoss(w3, x, nil)
+	for i := range g3 {
+		g3[i] *= -wAdv
+	}
+	gz3 := m.dec2.Backward(dec2Ctx3, g3)
+	m.enc.Backward(encCtx3, gz3) // stops here: w1 is constant
+
+	params := append(m.enc.Params(), m.dec2.Params()...)
+	nn.ClipGrads(params, 5)
+	m.opt2.Step(params)
+	m.dec1.ZeroGrad()
+}

@@ -1,0 +1,58 @@
+package varmodel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"streamad/internal/mat"
+)
+
+// state is the serializable form of the VAR model.
+type state struct {
+	P        int
+	Channels int
+	Fitted   bool
+	Rows     int
+	Cols     int
+	Coef     []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	st := state{P: m.p, Channels: m.channels, Fitted: m.fitted}
+	if m.fitted {
+		st.Rows = m.coef.Rows()
+		st.Cols = m.coef.Cols()
+		st.Coef = append([]float64(nil), m.coef.Data()...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("varmodel: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// order and channel count must match the snapshot.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("varmodel: decode: %w", err)
+	}
+	if st.P != m.p || st.Channels != m.channels {
+		return fmt.Errorf("varmodel: snapshot (p=%d N=%d) does not match model (p=%d N=%d)",
+			st.P, st.Channels, m.p, m.channels)
+	}
+	if !st.Fitted {
+		m.fitted = false
+		m.coef = nil
+		return nil
+	}
+	if len(st.Coef) != st.Rows*st.Cols {
+		return fmt.Errorf("varmodel: snapshot coefficient shape mismatch")
+	}
+	m.coef = mat.NewDenseData(st.Rows, st.Cols, append([]float64(nil), st.Coef...))
+	m.fitted = true
+	return nil
+}

@@ -1,0 +1,79 @@
+package streamad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseModelKind converts a string name (as used by the CLI tools) into a
+// ModelKind. Recognized names (case-insensitive): arima, arima-ons, pcb,
+// pcb-iforest, iforest, ae, usad, nbeats, n-beats, var, knn.
+func ParseModelKind(s string) (ModelKind, error) {
+	switch strings.ToLower(s) {
+	case "arima":
+		return ModelARIMA, nil
+	case "arima-ons", "arimaons", "ons":
+		return ModelARIMAONS, nil
+	case "pcb", "pcb-iforest", "iforest":
+		return ModelPCBIForest, nil
+	case "ae", "autoencoder":
+		return ModelAE, nil
+	case "usad":
+		return ModelUSAD, nil
+	case "nbeats", "n-beats":
+		return ModelNBEATS, nil
+	case "var":
+		return ModelVAR, nil
+	case "knn":
+		return ModelKNN, nil
+	default:
+		return 0, fmt.Errorf("streamad: unknown model %q", s)
+	}
+}
+
+// ParseTask1 converts a strategy name into a Task1. Recognized names:
+// sw, ures, ares.
+func ParseTask1(s string) (Task1, error) {
+	switch strings.ToLower(s) {
+	case "sw", "sliding", "sliding-window":
+		return TaskSlidingWindow, nil
+	case "ures", "uniform":
+		return TaskUniformReservoir, nil
+	case "ares", "anomaly-aware":
+		return TaskAnomalyReservoir, nil
+	default:
+		return 0, fmt.Errorf("streamad: unknown task1 strategy %q", s)
+	}
+}
+
+// ParseTask2 converts a drift-strategy name into a Task2. Recognized
+// names: musigma, ms, kswin, ks, regular.
+func ParseTask2(s string) (Task2, error) {
+	switch strings.ToLower(s) {
+	case "musigma", "mu-sigma", "ms":
+		return TaskMuSigma, nil
+	case "kswin", "ks":
+		return TaskKSWIN, nil
+	case "regular":
+		return TaskRegular, nil
+	case "adwin":
+		return TaskADWIN, nil
+	default:
+		return 0, fmt.Errorf("streamad: unknown task2 strategy %q", s)
+	}
+}
+
+// ParseScoreKind converts an anomaly-score name into a ScoreKind.
+// Recognized names: avg, average, likelihood, al, raw.
+func ParseScoreKind(s string) (ScoreKind, error) {
+	switch strings.ToLower(s) {
+	case "avg", "average":
+		return ScoreAverage, nil
+	case "likelihood", "al", "anomaly-likelihood":
+		return ScoreLikelihood, nil
+	case "raw":
+		return ScoreRaw, nil
+	default:
+		return 0, fmt.Errorf("streamad: unknown score kind %q", s)
+	}
+}

@@ -1,0 +1,74 @@
+package streamad
+
+import "testing"
+
+func TestParseModelKind(t *testing.T) {
+	cases := map[string]ModelKind{
+		"arima":     ModelARIMA,
+		"ARIMA":     ModelARIMA,
+		"arima-ons": ModelARIMAONS,
+		"pcb":       ModelPCBIForest,
+		"iforest":   ModelPCBIForest,
+		"ae":        ModelAE,
+		"usad":      ModelUSAD,
+		"nbeats":    ModelNBEATS,
+		"n-beats":   ModelNBEATS,
+		"var":       ModelVAR,
+		"knn":       ModelKNN,
+	}
+	for in, want := range cases {
+		got, err := ParseModelKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseModelKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseModelKind("transformer"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestParseTask1(t *testing.T) {
+	cases := map[string]Task1{
+		"sw": TaskSlidingWindow, "ures": TaskUniformReservoir, "ARES": TaskAnomalyReservoir,
+	}
+	for in, want := range cases {
+		got, err := ParseTask1(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTask1(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseTask1("fifo"); err == nil {
+		t.Error("unknown task1 must error")
+	}
+}
+
+func TestParseTask2(t *testing.T) {
+	cases := map[string]Task2{
+		"musigma": TaskMuSigma, "ms": TaskMuSigma, "kswin": TaskKSWIN,
+		"KS": TaskKSWIN, "regular": TaskRegular, "adwin": TaskADWIN,
+	}
+	for in, want := range cases {
+		got, err := ParseTask2(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTask2(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseTask2("ddm"); err == nil {
+		t.Error("unknown task2 must error")
+	}
+}
+
+func TestParseScoreKind(t *testing.T) {
+	cases := map[string]ScoreKind{
+		"avg": ScoreAverage, "AL": ScoreLikelihood, "raw": ScoreRaw,
+	}
+	for in, want := range cases {
+		got, err := ParseScoreKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScoreKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScoreKind("zscore"); err == nil {
+		t.Error("unknown score must error")
+	}
+}

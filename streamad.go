@@ -1,0 +1,512 @@
+// Package streamad is a streaming anomaly detection library for
+// multivariate time series, reproducing the extended SAFARI framework of
+// Koch, Petry and Werner (ICDE 2024): every detector is assembled from a
+// data representation, a Task 1 learning strategy maintaining the training
+// set, a Task 2 strategy triggering drift-driven fine-tuning, a machine
+// learning model, a nonconformity measure and an anomaly scoring function.
+//
+// The quickest route is Config + New:
+//
+//	det, err := streamad.New(streamad.Config{
+//		Model:    streamad.ModelUSAD,
+//		Task1:    streamad.TaskSlidingWindow,
+//		Task2:    streamad.TaskMuSigma,
+//		Score:    streamad.ScoreLikelihood,
+//		Channels: 9,
+//	})
+//	for _, s := range stream {
+//		if res, ok := det.Step(s); ok && res.Score > 0.9 {
+//			// anomaly
+//		}
+//	}
+//
+// Combos enumerates the paper's 26 evaluated algorithm combinations.
+package streamad
+
+import (
+	"encoding"
+	"fmt"
+	"math/rand"
+
+	"streamad/internal/arima"
+	"streamad/internal/autoenc"
+	"streamad/internal/core"
+	"streamad/internal/drift"
+	"streamad/internal/iforest"
+	"streamad/internal/knn"
+	"streamad/internal/nbeats"
+	"streamad/internal/reservoir"
+	"streamad/internal/score"
+	"streamad/internal/usad"
+	"streamad/internal/varmodel"
+)
+
+// ModelKind selects the machine learning model.
+type ModelKind int
+
+const (
+	// ModelARIMA is the online ARIMA(q+m, d, 0) forecaster of Liu et al.
+	ModelARIMA ModelKind = iota
+	// ModelPCBIForest is the performance-counter-based streaming isolation
+	// forest of Heigl et al.
+	ModelPCBIForest
+	// ModelAE is the two-layer reconstruction autoencoder baseline.
+	ModelAE
+	// ModelUSAD is the adversarial autoencoder of Audibert et al.
+	ModelUSAD
+	// ModelNBEATS is the basis-expansion forecaster of Oreshkin et al.
+	ModelNBEATS
+	// ModelVAR is the least-squares vector autoregression; described in the
+	// paper's methods section (it is not part of the 26-algorithm grid) and
+	// restricted to the sliding-window Task 1 strategy.
+	ModelVAR
+	// ModelARIMAONS is the online ARIMA trained with the Online Newton
+	// Step of Liu et al. instead of plain gradient descent — an extension
+	// beyond the paper's grid.
+	ModelARIMAONS
+	// ModelKNN is the similarity-based k-NN nonconformity detector of the
+	// original SAFARI framework, provided as the predecessor baseline.
+	ModelKNN
+)
+
+// String returns the model name as used in Table III.
+func (m ModelKind) String() string {
+	switch m {
+	case ModelARIMA:
+		return "Online ARIMA"
+	case ModelPCBIForest:
+		return "PCB-iForest"
+	case ModelAE:
+		return "2-layer AE"
+	case ModelUSAD:
+		return "USAD"
+	case ModelNBEATS:
+		return "N-BEATS"
+	case ModelVAR:
+		return "VAR"
+	case ModelARIMAONS:
+		return "Online ARIMA (ONS)"
+	case ModelKNN:
+		return "kNN (SAFARI)"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(m))
+	}
+}
+
+// Task1 selects the training-set maintenance strategy.
+type Task1 int
+
+const (
+	// TaskSlidingWindow keeps the m most recent feature vectors.
+	TaskSlidingWindow Task1 = iota
+	// TaskUniformReservoir keeps a uniform sample of the stream.
+	TaskUniformReservoir
+	// TaskAnomalyReservoir keeps the most "normal" vectors by priority.
+	TaskAnomalyReservoir
+)
+
+// String returns the Table I abbreviation.
+func (t Task1) String() string {
+	switch t {
+	case TaskSlidingWindow:
+		return "SW"
+	case TaskUniformReservoir:
+		return "URES"
+	case TaskAnomalyReservoir:
+		return "ARES"
+	default:
+		return fmt.Sprintf("Task1(%d)", int(t))
+	}
+}
+
+// Task2 selects the concept-drift / fine-tuning trigger.
+type Task2 int
+
+const (
+	// TaskMuSigma is the μ/σ-Change strategy.
+	TaskMuSigma Task2 = iota
+	// TaskKSWIN is the per-channel two-sample Kolmogorov–Smirnov strategy.
+	TaskKSWIN
+	// TaskRegular fine-tunes on a fixed cadence (the paper's baseline
+	// "regular fine-tuning"; not part of the Table III grid).
+	TaskRegular
+	// TaskADWIN is the adaptive-windowing detector of Bifet & Gavaldà,
+	// discussed in the paper's related work — an extension beyond the
+	// evaluated grid.
+	TaskADWIN
+)
+
+// String returns the Table I abbreviation.
+func (t Task2) String() string {
+	switch t {
+	case TaskMuSigma:
+		return "μ/σ"
+	case TaskKSWIN:
+		return "KS"
+	case TaskRegular:
+		return "regular"
+	case TaskADWIN:
+		return "ADWIN"
+	default:
+		return fmt.Sprintf("Task2(%d)", int(t))
+	}
+}
+
+// ScoreKind selects the anomaly scoring function F.
+type ScoreKind int
+
+const (
+	// ScoreAverage averages the last k nonconformity scores.
+	ScoreAverage ScoreKind = iota
+	// ScoreLikelihood is the Numenta anomaly likelihood.
+	ScoreLikelihood
+	// ScoreRaw passes nonconformity scores through unchanged.
+	ScoreRaw
+)
+
+// String returns the Table III abbreviation.
+func (s ScoreKind) String() string {
+	switch s {
+	case ScoreAverage:
+		return "Avg"
+	case ScoreLikelihood:
+		return "AL"
+	case ScoreRaw:
+		return "Raw"
+	default:
+		return fmt.Sprintf("ScoreKind(%d)", int(s))
+	}
+}
+
+// Config assembles a detector. Channels is required; everything else has
+// paper-faithful defaults.
+type Config struct {
+	// Model, Task1, Task2 and Score pick the algorithm combination.
+	Model ModelKind
+	Task1 Task1
+	Task2 Task2
+	Score ScoreKind
+
+	// Channels is the stream dimensionality N (required).
+	Channels int
+	// Window is the data representation length w in stream rows
+	// (default 100, the paper's setting).
+	Window int
+	// TrainSize is the training-set capacity m (default 500).
+	TrainSize int
+	// WarmupVectors is the number of feature vectors collected before the
+	// initial fit (default TrainSize; the paper uses the first 5000 steps).
+	WarmupVectors int
+	// ScoreWindow is the anomaly-scoring window k (default Window).
+	ScoreWindow int
+	// ShortWindow is the anomaly-likelihood short window k' (default
+	// max(ScoreWindow/10, 2)).
+	ShortWindow int
+	// Alpha is the KSWIN significance level (default 0.01).
+	Alpha float64
+	// KSCheckEvery throttles KSWIN to every k-th training-set change
+	// (default 1 = test at every step, as in the paper; larger values trade
+	// fidelity for speed).
+	KSCheckEvery int
+	// RegularInterval is the cadence of TaskRegular (default TrainSize).
+	RegularInterval int
+	// ADWINDelta is the TaskADWIN confidence parameter (default 0.002).
+	ADWINDelta float64
+	// InitEpochs is the number of initial-fit epochs (default 1; neural
+	// models benefit from a few more).
+	InitEpochs int
+	// PreTrained skips the initial fit at warmup end, for detectors whose
+	// model is restored from a SaveModel snapshot.
+	PreTrained bool
+	// Sanitize repairs NaN/±Inf input values with the channel's last
+	// finite value instead of letting them poison the statistics.
+	Sanitize bool
+	// Attribution computes each channel's share of the prediction error
+	// per step (Result.Attribution), so alerts can name the channels that
+	// drove them. Only available for predictor models.
+	Attribution bool
+	// Seed drives every random component (default 1).
+	Seed int64
+	// LR overrides the model learning rate (0 = model default).
+	LR float64
+	// ARIMADiff is the online-ARIMA differencing order d (default 1).
+	ARIMADiff int
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("streamad: Channels must be positive, got %d", c.Channels)
+	}
+	if c.Window == 0 {
+		c.Window = 100
+	}
+	if c.Window < 4 {
+		return fmt.Errorf("streamad: Window must be at least 4, got %d", c.Window)
+	}
+	if c.TrainSize == 0 {
+		c.TrainSize = 500
+	}
+	if c.TrainSize < 2 {
+		return fmt.Errorf("streamad: TrainSize must be at least 2, got %d", c.TrainSize)
+	}
+	if c.WarmupVectors == 0 {
+		c.WarmupVectors = c.TrainSize
+	}
+	if c.ScoreWindow == 0 {
+		c.ScoreWindow = c.Window
+	}
+	if c.ShortWindow == 0 {
+		c.ShortWindow = c.ScoreWindow / 10
+		if c.ShortWindow < 2 {
+			c.ShortWindow = 2
+		}
+	}
+	if c.ShortWindow >= c.ScoreWindow {
+		return fmt.Errorf("streamad: ShortWindow (%d) must be smaller than ScoreWindow (%d)",
+			c.ShortWindow, c.ScoreWindow)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = drift.DefaultAlpha
+	}
+	if c.KSCheckEvery == 0 {
+		c.KSCheckEvery = 1
+	}
+	if c.RegularInterval == 0 {
+		c.RegularInterval = c.TrainSize
+	}
+	if c.InitEpochs == 0 {
+		// Gradient-trained models need several warmup epochs to reach a
+		// useful operating point; fine-tunes stay at one epoch (paper).
+		switch c.Model {
+		case ModelAE, ModelUSAD, ModelNBEATS:
+			c.InitEpochs = 10
+		default:
+			c.InitEpochs = 1
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ARIMADiff == 0 {
+		c.ARIMADiff = 1
+	}
+	if c.Model == ModelVAR && c.Task1 != TaskSlidingWindow {
+		return fmt.Errorf("streamad: VAR requires the sliding-window strategy (got %v)", c.Task1)
+	}
+	return nil
+}
+
+// Detector is a fully assembled streaming anomaly detector.
+type Detector struct {
+	inner *core.Detector
+	model core.Model
+	cfg   Config
+}
+
+// Result re-exports the per-step output of the framework.
+type Result = core.Result
+
+// New builds a detector for the given configuration.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	dim := cfg.Window * cfg.Channels
+
+	model, err := buildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	var set reservoir.TrainingSet
+	switch cfg.Task1 {
+	case TaskSlidingWindow:
+		set = reservoir.NewSlidingWindow(cfg.TrainSize, dim)
+	case TaskUniformReservoir:
+		set = reservoir.NewUniformReservoir(cfg.TrainSize, dim, rng)
+	case TaskAnomalyReservoir:
+		set = reservoir.NewAnomalyAwareReservoir(cfg.TrainSize, dim, rng)
+	default:
+		return nil, fmt.Errorf("streamad: unknown Task1 %d", cfg.Task1)
+	}
+
+	var det drift.Detector
+	switch cfg.Task2 {
+	case TaskMuSigma:
+		det = drift.NewMuSigmaChange(dim)
+	case TaskKSWIN:
+		k := drift.NewKSWIN(cfg.Channels, cfg.Window, cfg.Alpha)
+		k.CheckEvery = cfg.KSCheckEvery
+		det = k
+	case TaskRegular:
+		det = drift.NewRegular(cfg.RegularInterval)
+	case TaskADWIN:
+		det = drift.NewADWIN(cfg.ADWINDelta)
+	default:
+		return nil, fmt.Errorf("streamad: unknown Task2 %d", cfg.Task2)
+	}
+
+	var scorer score.Scorer
+	switch cfg.Score {
+	case ScoreAverage:
+		scorer = score.NewAverage(cfg.ScoreWindow)
+	case ScoreLikelihood:
+		scorer = score.NewAnomalyLikelihood(cfg.ScoreWindow, cfg.ShortWindow)
+	case ScoreRaw:
+		scorer = score.Raw{}
+	default:
+		return nil, fmt.Errorf("streamad: unknown ScoreKind %d", cfg.Score)
+	}
+
+	// Self-scoring models (PCB-iForest's path-length score, kNN's distance
+	// score) carry their own nonconformity; everything else uses cosine.
+	var measure score.Nonconformity
+	if cfg.Model != ModelPCBIForest && cfg.Model != ModelKNN {
+		measure = score.Cosine{}
+	}
+
+	inner, err := core.NewDetector(core.Config{
+		Representer:   core.NewRepresenter(cfg.Window, cfg.Channels),
+		Model:         model,
+		TrainingSet:   set,
+		Drift:         det,
+		Measure:       measure,
+		Scorer:        scorer,
+		WarmupVectors: cfg.WarmupVectors,
+		InitEpochs:    cfg.InitEpochs,
+		PreTrained:    cfg.PreTrained,
+		Sanitize:      cfg.Sanitize,
+		Attribution:   cfg.Attribution,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{inner: inner, model: model, cfg: cfg}, nil
+}
+
+func buildModel(cfg Config) (core.Model, error) {
+	switch cfg.Model {
+	case ModelARIMA:
+		lags := cfg.Window - cfg.ARIMADiff - 1
+		if lags < 1 {
+			return nil, fmt.Errorf("streamad: Window %d too small for ARIMA with d=%d", cfg.Window, cfg.ARIMADiff)
+		}
+		return arima.New(arima.Config{
+			Lags: lags, D: cfg.ARIMADiff, Channels: cfg.Channels, LR: cfg.LR,
+		})
+	case ModelPCBIForest:
+		return iforest.New(iforest.Config{Channels: cfg.Channels, Seed: cfg.Seed})
+	case ModelAE:
+		return autoenc.New(autoenc.Config{
+			Dim: cfg.Window * cfg.Channels, LR: cfg.LR, Seed: cfg.Seed,
+		})
+	case ModelUSAD:
+		return usad.New(usad.Config{
+			Dim: cfg.Window * cfg.Channels, LR: cfg.LR, Seed: cfg.Seed,
+		})
+	case ModelNBEATS:
+		return nbeats.New(nbeats.Config{
+			Channels: cfg.Channels, BackcastRows: cfg.Window - 1, LR: cfg.LR, Seed: cfg.Seed,
+		})
+	case ModelVAR:
+		p := cfg.Window / 4
+		if p < 1 {
+			p = 1
+		}
+		return varmodel.New(varmodel.Config{P: p, Channels: cfg.Channels})
+	case ModelARIMAONS:
+		lags := cfg.Window - cfg.ARIMADiff - 1
+		if lags < 1 {
+			return nil, fmt.Errorf("streamad: Window %d too small for ARIMA with d=%d", cfg.Window, cfg.ARIMADiff)
+		}
+		base, err := arima.New(arima.Config{
+			Lags: lags, D: cfg.ARIMADiff, Channels: cfg.Channels,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arima.NewONS(base, cfg.LR, 0), nil
+	case ModelKNN:
+		return knn.New(knn.Config{Dim: cfg.Window * cfg.Channels})
+	default:
+		return nil, fmt.Errorf("streamad: unknown ModelKind %d", cfg.Model)
+	}
+}
+
+// Step consumes the next stream vector; ok becomes true once the window is
+// full and warmup training has completed.
+func (d *Detector) Step(s []float64) (Result, bool) { return d.inner.Step(s) }
+
+// Run scores an entire series, returning per-step anomaly scores and a
+// validity mask covering the post-warmup region.
+func (d *Detector) Run(series [][]float64) (scores []float64, valid []bool) {
+	return d.inner.Run(series)
+}
+
+// FineTunes returns the number of drift-triggered fine-tuning sessions.
+func (d *Detector) FineTunes() int { return d.inner.FineTunes() }
+
+// WarmedUp reports whether the initial training completed.
+func (d *Detector) WarmedUp() bool { return d.inner.WarmedUp() }
+
+// DriftOps exposes the Task 2 strategy's cumulative operation counts
+// (Table II instrumentation).
+func (d *Detector) DriftOps() drift.OpCounts { return d.inner.DriftOps() }
+
+// Config returns the (default-filled) configuration the detector runs.
+func (d *Detector) Config() Config { return d.cfg }
+
+// SaveModel returns a binary snapshot of the model parameters θ_model
+// (weights, coefficients, forests, normalization). Window and reservoir
+// state are not included: a restored detector refills its representation
+// window from the live stream, which takes w steps.
+func (d *Detector) SaveModel() ([]byte, error) {
+	m, ok := d.model.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("streamad: %v does not support model snapshots", d.cfg.Model)
+	}
+	return m.MarshalBinary()
+}
+
+// LoadModel restores a snapshot produced by SaveModel into this
+// detector's model. The detector must have been built with an identical
+// model configuration (kind, Window, Channels).
+func (d *Detector) LoadModel(data []byte) error {
+	m, ok := d.model.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("streamad: %v does not support model snapshots", d.cfg.Model)
+	}
+	return m.UnmarshalBinary(data)
+}
+
+// Combo is one (model, Task 1, Task 2) combination of the Table I grid.
+type Combo struct {
+	Model ModelKind
+	Task1 Task1
+	Task2 Task2
+}
+
+// String formats the combo the way Table III labels rows.
+func (c Combo) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.Model, c.Task1, c.Task2)
+}
+
+// Combos enumerates the paper's 26 evaluated algorithm combinations
+// (Table I): the full Task 1 × Task 2 grid for ARIMA, AE, USAD and
+// N-BEATS, and {SW, ARES} × KSWIN for PCB-iForest.
+func Combos() []Combo {
+	full := []ModelKind{ModelARIMA, ModelAE, ModelUSAD, ModelNBEATS}
+	var out []Combo
+	for _, m := range full {
+		for _, t1 := range []Task1{TaskSlidingWindow, TaskUniformReservoir, TaskAnomalyReservoir} {
+			for _, t2 := range []Task2{TaskMuSigma, TaskKSWIN} {
+				out = append(out, Combo{Model: m, Task1: t1, Task2: t2})
+			}
+		}
+	}
+	for _, t1 := range []Task1{TaskSlidingWindow, TaskAnomalyReservoir} {
+		out = append(out, Combo{Model: ModelPCBIForest, Task1: t1, Task2: TaskKSWIN})
+	}
+	return out
+}
