@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+# ci is the gate: everything a change must pass before merging.
+ci: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,143 @@
+package streamad
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshotVersion identifies the Detector.Save envelope layout.
+const snapshotVersion = 1
+
+// detectorSnapshot is the serializable envelope of a full detector
+// checkpoint: the configuration fingerprint used to reject mismatched
+// restores, the framework-loop state, the model parameters and the Task 1
+// RNG position.
+type detectorSnapshot struct {
+	Version   int
+	Model     int
+	Task1     int
+	Task2     int
+	Score     int
+	Channels  int
+	Window    int
+	TrainSize int
+	Warmup    int
+	ScoreWin  int
+	ShortWin  int
+	Seed      int64
+	Sanitize  bool
+	RNGSeed   int64
+	RNGDraws  uint64
+	Core      []byte
+	ModelBlob []byte
+}
+
+// Save returns a binary snapshot of the complete detector state: model
+// parameters including optimizer position, the representation window, the
+// Task 1 training set and its RNG position, the Task 2 drift reference,
+// the scorer windows and every counter. Unlike SaveModel, a detector
+// restored with Load resumes scoring immediately — no window refill, no
+// re-warmup — and produces scores identical to an uninterrupted run, even
+// through later drift-triggered fine-tunes.
+func (d *Detector) Save() ([]byte, error) {
+	coreBlob, err := d.inner.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	modelBlob, err := d.SaveModel()
+	if err != nil {
+		return nil, err
+	}
+	snap := detectorSnapshot{
+		Version:   snapshotVersion,
+		Model:     int(d.cfg.Model),
+		Task1:     int(d.cfg.Task1),
+		Task2:     int(d.cfg.Task2),
+		Score:     int(d.cfg.Score),
+		Channels:  d.cfg.Channels,
+		Window:    d.cfg.Window,
+		TrainSize: d.cfg.TrainSize,
+		Warmup:    d.cfg.WarmupVectors,
+		ScoreWin:  d.cfg.ScoreWindow,
+		ShortWin:  d.cfg.ShortWindow,
+		Seed:      d.cfg.Seed,
+		Sanitize:  d.cfg.Sanitize,
+		RNGSeed:   d.src.SeedValue(),
+		RNGDraws:  d.src.Draws(),
+		Core:      coreBlob,
+		ModelBlob: modelBlob,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("streamad: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores a snapshot produced by Save into this detector. The
+// detector must have been built with the same configuration (combination,
+// Channels, Window, TrainSize, warmup and score windows, Seed); a
+// mismatch is rejected before any state is touched.
+func (d *Detector) Load(data []byte) error {
+	var snap detectorSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("streamad: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("streamad: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+	if err := d.checkSnapshotConfig(snap); err != nil {
+		return err
+	}
+	// Restore the model first: its Unmarshal validates shapes against the
+	// receiver, so a corrupt or cross-model blob fails before the framework
+	// loop state is touched.
+	if err := d.LoadModel(snap.ModelBlob); err != nil {
+		return err
+	}
+	if err := d.inner.UnmarshalBinary(snap.Core); err != nil {
+		return err
+	}
+	d.src.Restore(snap.RNGSeed, snap.RNGDraws)
+	return nil
+}
+
+// checkSnapshotConfig verifies the snapshot's configuration fingerprint
+// against the receiver's.
+func (d *Detector) checkSnapshotConfig(snap detectorSnapshot) error {
+	mismatch := func(field string, got, want interface{}) error {
+		return fmt.Errorf("streamad: snapshot %s %v does not match detector %s %v",
+			field, got, field, want)
+	}
+	switch {
+	case snap.Model != int(d.cfg.Model):
+		return mismatch("model", ModelKind(snap.Model), d.cfg.Model)
+	case snap.Task1 != int(d.cfg.Task1):
+		return mismatch("task1", Task1(snap.Task1), d.cfg.Task1)
+	case snap.Task2 != int(d.cfg.Task2):
+		return mismatch("task2", Task2(snap.Task2), d.cfg.Task2)
+	case snap.Score != int(d.cfg.Score):
+		return mismatch("score", ScoreKind(snap.Score), d.cfg.Score)
+	case snap.Channels != d.cfg.Channels:
+		return mismatch("channels", snap.Channels, d.cfg.Channels)
+	case snap.Window != d.cfg.Window:
+		return mismatch("window", snap.Window, d.cfg.Window)
+	case snap.TrainSize != d.cfg.TrainSize:
+		return mismatch("train size", snap.TrainSize, d.cfg.TrainSize)
+	case snap.Warmup != d.cfg.WarmupVectors:
+		return mismatch("warmup", snap.Warmup, d.cfg.WarmupVectors)
+	case snap.ScoreWin != d.cfg.ScoreWindow:
+		return mismatch("score window", snap.ScoreWin, d.cfg.ScoreWindow)
+	case snap.ShortWin != d.cfg.ShortWindow:
+		return mismatch("short window", snap.ShortWin, d.cfg.ShortWindow)
+	case snap.Seed != d.cfg.Seed:
+		return mismatch("seed", snap.Seed, d.cfg.Seed)
+	case snap.Sanitize != d.cfg.Sanitize:
+		return mismatch("sanitize", snap.Sanitize, d.cfg.Sanitize)
+	}
+	return nil
+}
+
+// Steps returns the number of stream vectors consumed, including warmup.
+func (d *Detector) Steps() int { return d.inner.Steps() }

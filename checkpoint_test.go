@@ -109,3 +109,114 @@ func TestLoadModelRejectsMismatchedShape(t *testing.T) {
 		t.Fatal("cross-model load must fail")
 	}
 }
+
+// TestDetectorSaveLoadRoundTrip is the full-detector counterpart of the
+// model round-trip above, and a strictly stronger guarantee: Save/Load
+// captures the window, training set, drift reference, scorer and RNG
+// position, so the restored detector needs no refill and must emit scores
+// identical to the uninterrupted run from the very next vector — even
+// though fine-tunes keep firing (small Regular interval) and the ARES
+// training set keeps drawing from the checkpointed RNG.
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	corpus := dataset.Daphnet(dataset.Config{Length: 700, SeriesCount: 1, Seed: 13})
+	s := corpus.Series[0]
+	kinds := []ModelKind{ModelARIMA, ModelARIMAONS, ModelPCBIForest, ModelAE, ModelUSAD, ModelNBEATS, ModelVAR, ModelKNN}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{
+				Model: kind, Task1: TaskAnomalyReservoir, Task2: TaskRegular,
+				RegularInterval: 100, // fine-tunes keep happening after restore
+				Score:           ScoreLikelihood,
+				Channels:        s.Channels(), Window: 12, TrainSize: 60,
+				WarmupVectors: 80, Seed: 5,
+			}
+			if kind == ModelVAR {
+				cfg.Task1 = TaskSlidingWindow // VAR requires ordered training rows
+			}
+			live, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range s.Data[:300] {
+				live.Step(row)
+			}
+			snap, err := live.Save()
+			if err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+
+			restored, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Load(snap); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if restored.Steps() != live.Steps() {
+				t.Fatalf("restored steps %d, live steps %d", restored.Steps(), live.Steps())
+			}
+
+			tunesAtSave := live.FineTunes()
+			for i := 300; i < 650; i++ {
+				a, okA := live.Step(s.Data[i])
+				b, okB := restored.Step(s.Data[i])
+				if okA != okB {
+					t.Fatalf("readiness diverged at %d: %v vs %v", i, okA, okB)
+				}
+				if !okA {
+					continue
+				}
+				if a.Score != b.Score || a.Nonconformity != b.Nonconformity || a.FineTuned != b.FineTuned {
+					t.Fatalf("diverged at step %d: live (s=%v n=%v ft=%v) restored (s=%v n=%v ft=%v)",
+						i, a.Score, a.Nonconformity, a.FineTuned, b.Score, b.Nonconformity, b.FineTuned)
+				}
+			}
+			if live.FineTunes() == tunesAtSave {
+				t.Fatal("evaluation slice triggered no fine-tunes; the test is too weak")
+			}
+			if live.FineTunes() != restored.FineTunes() {
+				t.Fatalf("fine-tune counts diverged: %d vs %d", live.FineTunes(), restored.FineTunes())
+			}
+		})
+	}
+}
+
+// TestDetectorLoadRejectsMismatch verifies configuration fingerprinting
+// and corruption handling on the full-detector snapshot.
+func TestDetectorLoadRejectsMismatch(t *testing.T) {
+	base := Config{Model: ModelKNN, Channels: 3, Window: 8, TrainSize: 20, WarmupVectors: 10, Seed: 1}
+	a, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := a.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := base
+	other.Seed = 2
+	b, _ := New(other)
+	if err := b.Load(snap); err == nil {
+		t.Fatal("snapshot with different seed must be rejected")
+	}
+	other = base
+	other.Model = ModelAE
+	c, _ := New(other)
+	if err := c.Load(snap); err == nil {
+		t.Fatal("snapshot for a different model must be rejected")
+	}
+
+	d, _ := New(base)
+	if err := d.Load(snap[:len(snap)/2]); err == nil {
+		t.Fatal("truncated snapshot must be rejected")
+	}
+	garbage := append([]byte(nil), snap...)
+	for i := range garbage {
+		garbage[i] ^= 0xA5
+	}
+	if err := d.Load(garbage); err == nil {
+		t.Fatal("corrupt snapshot must be rejected")
+	}
+}

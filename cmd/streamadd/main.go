@@ -6,15 +6,26 @@
 //	curl -XPOST localhost:8080/v1/streams/device-7/observe \
 //	     -d '{"vector": [0.1, 0.3, ...]}'
 //
-// See internal/server for the API surface.
+// With -state-dir the daemon is crash-recoverable: vectors are written to
+// a per-stream WAL before scoring, detectors are checkpointed in the
+// background, and a restart with the same flags and state dir resumes
+// every stream exactly where it stopped. See internal/server for the API
+// surface and internal/persist for the on-disk format.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"streamad"
+	"streamad/internal/persist"
 	"streamad/internal/score"
 	"streamad/internal/server"
 )
@@ -24,13 +35,17 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		modelName = flag.String("model", "usad", "model: arima|arima-ons|pcb|ae|usad|nbeats|var|knn")
 		task1Name = flag.String("task1", "sw", "training-set strategy: sw|ures|ares")
-		task2Name = flag.String("task2", "musigma", "drift strategy: musigma|kswin|regular")
+		task2Name = flag.String("task2", "musigma", "drift strategy: musigma|kswin|regular|adwin")
 		scoreName = flag.String("score", "likelihood", "anomaly score: avg|likelihood|raw")
 		channels  = flag.Int("channels", 0, "stream dimensionality N (required)")
 		window    = flag.Int("w", 32, "data representation length")
 		train     = flag.Int("m", 200, "training set size")
 		quantile  = flag.Float64("alert-quantile", 0.99, "adaptive alert quantile")
 		seed      = flag.Int64("seed", 1, "random seed")
+
+		stateDir     = flag.String("state-dir", "", "directory for snapshots and WALs (empty = no persistence)")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "background checkpoint period (requires -state-dir)")
+		snapEntries  = flag.Int("snapshot-entries", 256, "checkpoint a stream once this many vectors sit in its WAL (0 = timer only)")
 	)
 	flag.Parse()
 	if *channels <= 0 {
@@ -52,6 +67,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	var store *persist.Store
+	if *stateDir != "" {
+		store, err = persist.Open(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+	}
+
 	srv, err := server.New(server.Config{
 		NewDetector: func(stream string) (server.Stepper, error) {
 			return streamad.New(streamad.Config{
@@ -63,11 +88,60 @@ func main() {
 		NewThresholder: func(string) score.Thresholder {
 			return score.NewQuantileThresholder(*quantile)
 		},
+		Store:            store,
+		SnapshotInterval: *snapInterval,
+		SnapshotEvery:    *snapEntries,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if store != nil {
+		restored, warnings, err := srv.RestoreStreams()
+		if err != nil {
+			log.Fatalf("streamadd: state dir %s is damaged: %v", *stateDir, err)
+		}
+		for _, w := range warnings {
+			log.Printf("streamadd: recovery: %s", w)
+		}
+		if restored > 0 {
+			log.Printf("streamadd: restored %d stream(s) from %s", restored, *stateDir)
+		}
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
 	log.Printf("streamadd listening on %s (model=%v task1=%v task2=%v score=%v N=%d)",
 		*addr, mk, t1, t2, sk, *channels)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	select {
+	case <-ctx.Done():
+		log.Print("streamadd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutCtx); err != nil {
+			log.Printf("streamadd: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+	// In-flight observes have drained; take the final checkpoint so the
+	// next start replays an empty (or near-empty) WAL.
+	if err := srv.Close(); err != nil {
+		log.Printf("streamadd: final checkpoint: %v", err)
+	}
 }

@@ -28,14 +28,54 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler for the ONS wrapper:
-// the snapshot carries the γ coefficients; the accumulated second-order
-// statistics A⁻¹ are transient optimizer state and restart at ε·I on
-// restore, exactly like Adam moments in the neural models.
-func (o *ONS) MarshalBinary() ([]byte, error) { return o.model.MarshalBinary() }
+// onsState is the serializable form of the ONS wrapper: the γ snapshot of
+// the wrapped model plus the accumulated inverse second-moment matrix
+// A⁻¹, so resumed fine-tuning continues the exact Newton trajectory.
+type onsState struct {
+	Model []byte
+	Eta   float64
+	Lags  int
+	Ainv  []float64 // row-major lags×lags
+}
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler for ONS.
-func (o *ONS) UnmarshalBinary(data []byte) error { return o.model.UnmarshalBinary(data) }
+// MarshalBinary implements encoding.BinaryMarshaler for the ONS wrapper.
+func (o *ONS) MarshalBinary() ([]byte, error) {
+	inner, err := o.model.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	st := onsState{Model: inner, Eta: o.eta, Lags: o.model.lags}
+	for _, row := range o.ainv {
+		st.Ainv = append(st.Ainv, row...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("arima: encode ons: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for ONS. For
+// compatibility it also accepts a bare model snapshot (pre-ONS-state
+// format), in which case A⁻¹ keeps its current value.
+func (o *ONS) UnmarshalBinary(data []byte) error {
+	var st onsState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil || len(st.Model) == 0 {
+		return o.model.UnmarshalBinary(data)
+	}
+	if st.Lags != o.model.lags || len(st.Ainv) != st.Lags*st.Lags {
+		return fmt.Errorf("arima: ons snapshot lags %d (A⁻¹ %d) does not match model lags %d",
+			st.Lags, len(st.Ainv), o.model.lags)
+	}
+	if err := o.model.UnmarshalBinary(st.Model); err != nil {
+		return err
+	}
+	o.eta = st.Eta
+	for i, row := range o.ainv {
+		copy(row, st.Ainv[i*st.Lags:(i+1)*st.Lags])
+	}
+	return nil
+}
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
 // configuration must match the snapshot.

@@ -4,13 +4,18 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"streamad/internal/nn"
 )
 
-// state is the serializable form of the autoencoder.
+// state is the serializable form of the autoencoder, including the Adam
+// moment estimates so resumed fine-tuning continues the exact optimizer
+// trajectory.
 type state struct {
 	Dim    int
 	Net    []byte
 	Scaler []byte
+	Opt    []byte
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -23,8 +28,12 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt, err := nn.SaveOptimizer(m.opt, m.net.Params())
+	if err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(state{Dim: m.dim, Net: net, Scaler: sc}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(state{Dim: m.dim, Net: net, Scaler: sc, Opt: opt}); err != nil {
 		return nil, fmt.Errorf("autoenc: encode: %w", err)
 	}
 	return buf.Bytes(), nil
@@ -43,5 +52,8 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 	if err := m.net.UnmarshalBinary(st.Net); err != nil {
 		return err
 	}
-	return m.scaler.UnmarshalBinary(st.Scaler)
+	if err := m.scaler.UnmarshalBinary(st.Scaler); err != nil {
+		return err
+	}
+	return nn.LoadOptimizer(m.opt, m.net.Params(), st.Opt)
 }

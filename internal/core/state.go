@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/gob"
+	"fmt"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler for the representer:
+// the snapshot is the underlying vector ring (the last w stream vectors).
+func (r *Representer) MarshalBinary() ([]byte, error) { return r.win.MarshalBinary() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for the
+// representer; the receiver's geometry must match the snapshot.
+func (r *Representer) UnmarshalBinary(data []byte) error { return r.win.UnmarshalBinary(data) }
+
+// detectorState is the serializable form of the framework loop: the
+// warmup/step counters plus a nested snapshot of every stateful component
+// except the model, which the caller snapshots separately (it already has
+// its own public SaveModel/LoadModel surface).
+type detectorState struct {
+	WarmupLeft int
+	WarmedUp   bool
+	Steps      int
+	FineTunes  int
+	Sanitized  int
+	LastGood   []float64
+	Window     []byte
+	Train      []byte
+	Drift      []byte
+	Scorer     []byte
+}
+
+// marshalComponent snapshots one framework component, requiring it to
+// support binary checkpointing.
+func marshalComponent(name string, v interface{}) ([]byte, error) {
+	m, ok := v.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("core: %s component %T does not support checkpointing", name, v)
+	}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot %s: %w", name, err)
+	}
+	return b, nil
+}
+
+// unmarshalComponent restores one framework component snapshot.
+func unmarshalComponent(name string, v interface{}, data []byte) error {
+	u, ok := v.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("core: %s component %T does not support checkpointing", name, v)
+	}
+	if err := u.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("core: restore %s: %w", name, err)
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: a full snapshot of
+// the detector's streaming state (window, training set, drift reference,
+// scorer windows, counters). The model is intentionally not included.
+func (d *Detector) MarshalBinary() ([]byte, error) {
+	st := detectorState{
+		WarmupLeft: d.warmupLeft,
+		WarmedUp:   d.warmedUp,
+		Steps:      d.steps,
+		FineTunes:  d.fineTunes,
+		Sanitized:  d.sanitized,
+		LastGood:   append([]float64(nil), d.lastGood...),
+	}
+	var err error
+	if st.Window, err = marshalComponent("representation", d.cfg.Representer); err != nil {
+		return nil, err
+	}
+	if st.Train, err = marshalComponent("training-set", d.cfg.TrainingSet); err != nil {
+		return nil, err
+	}
+	if st.Drift, err = marshalComponent("drift", d.cfg.Drift); err != nil {
+		return nil, err
+	}
+	if st.Scorer, err = marshalComponent("scorer", d.cfg.Scorer); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encode detector: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler: it restores a
+// snapshot into a detector assembled with an identically configured set of
+// components. Component-level geometry checks reject mismatched shapes.
+func (d *Detector) UnmarshalBinary(data []byte) error {
+	var st detectorState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("core: decode detector: %w", err)
+	}
+	if err := unmarshalComponent("representation", d.cfg.Representer, st.Window); err != nil {
+		return err
+	}
+	if err := unmarshalComponent("training-set", d.cfg.TrainingSet, st.Train); err != nil {
+		return err
+	}
+	if err := unmarshalComponent("drift", d.cfg.Drift, st.Drift); err != nil {
+		return err
+	}
+	if err := unmarshalComponent("scorer", d.cfg.Scorer, st.Scorer); err != nil {
+		return err
+	}
+	d.warmupLeft = st.WarmupLeft
+	d.warmedUp = st.WarmedUp
+	d.steps = st.Steps
+	d.fineTunes = st.FineTunes
+	d.sanitized = st.Sanitized
+	if len(st.LastGood) > 0 {
+		d.lastGood = append([]float64(nil), st.LastGood...)
+		d.sanBuf = make([]float64, len(st.LastGood))
+	} else {
+		d.lastGood = nil
+		d.sanBuf = nil
+	}
+	return nil
+}

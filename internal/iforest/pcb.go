@@ -3,6 +3,8 @@ package iforest
 import (
 	"fmt"
 	"math/rand"
+
+	"streamad/internal/randstate"
 )
 
 // PCBForest is the performance-counter-based streaming isolation forest of
@@ -18,6 +20,7 @@ type PCBForest struct {
 	subsample int
 	threshold float64
 	channels  int
+	src       *randstate.CountedSource
 	rng       *rand.Rand
 	fitted    bool
 	// Pruned/Grown track cumulative maintenance activity for diagnostics.
@@ -61,12 +64,14 @@ func New(cfg Config) (*PCBForest, error) {
 	if thr == 0 {
 		thr = 0.5
 	}
+	src := randstate.NewCountedSource(cfg.Seed)
 	return &PCBForest{
 		numTrees:  trees,
 		subsample: sub,
 		threshold: thr,
 		channels:  cfg.Channels,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		src:       src,
+		rng:       rand.New(src),
 	}, nil
 }
 

@@ -22,7 +22,9 @@ type treeState struct {
 	Sample   int
 }
 
-// state is the serializable form of a PCB-iForest.
+// state is the serializable form of a PCB-iForest. Seed and Draws capture
+// the tree-growing RNG position, so replacement trees grown after a
+// restore are identical to the ones the saved forest would have grown.
 type state struct {
 	NumTrees  int
 	Subsample int
@@ -33,6 +35,8 @@ type state struct {
 	Trees     []treeState
 	Pruned    int
 	Grown     int
+	Seed      int64
+	Draws     uint64
 }
 
 // flatten appends n (and recursively its children) to nodes, returning
@@ -88,6 +92,8 @@ func (f *PCBForest) MarshalBinary() ([]byte, error) {
 		Counters:  append([]int(nil), f.counters...),
 		Pruned:    f.Pruned,
 		Grown:     f.Grown,
+		Seed:      f.src.SeedValue(),
+		Draws:     f.src.Draws(),
 	}
 	for _, t := range f.trees {
 		ts := treeState{MaxDepth: t.maxDepth, Sample: t.sample}
@@ -127,5 +133,6 @@ func (f *PCBForest) UnmarshalBinary(data []byte) error {
 	f.trees = trees
 	f.Pruned = st.Pruned
 	f.Grown = st.Grown
+	f.src.Restore(st.Seed, st.Draws)
 	return nil
 }

@@ -41,12 +41,15 @@ type blockState struct {
 	BasisF linearState
 }
 
-// state is the serializable form of the N-BEATS model.
+// state is the serializable form of the N-BEATS model, including the Adam
+// moment estimates so resumed fine-tuning continues the exact optimizer
+// trajectory.
 type state struct {
 	Channels int
 	BackLen  int
 	Blocks   []blockState
 	Scaler   []byte
+	Opt      []byte
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -57,6 +60,11 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	st.Scaler = sc
+	opt, err := nn.SaveOptimizer(m.opt, m.params())
+	if err != nil {
+		return nil, err
+	}
+	st.Opt = opt
 	for _, b := range m.blocks {
 		stack, err := b.stack.MarshalBinary()
 		if err != nil {
@@ -121,5 +129,5 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 			}
 		}
 	}
-	return nil
+	return nn.LoadOptimizer(m.opt, m.params(), st.Opt)
 }

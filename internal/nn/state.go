@@ -120,3 +120,82 @@ func (s *MinMaxScaler) UnmarshalBinary(data []byte) error {
 	copy(s.scale, st.B)
 	return nil
 }
+
+// adamState is the serializable form of an Adam optimizer's training
+// position: the step counter and the first/second moment estimates in the
+// caller's parameter order.
+type adamState struct {
+	T int
+	M [][]float64
+	V [][]float64
+}
+
+// MarshalState snapshots the Adam step counter and moment estimates for
+// params (in order), so a restored model's next fine-tune continues the
+// exact optimizer trajectory instead of restarting the moments at zero.
+func (a *Adam) MarshalState(params []*Param) ([]byte, error) {
+	st := adamState{T: a.t}
+	for _, p := range params {
+		m := make([]float64, len(p.W))
+		copy(m, a.m[p])
+		v := make([]float64, len(p.W))
+		copy(v, a.v[p])
+		st.M = append(st.M, m)
+		st.V = append(st.V, v)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("nn: encode adam: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalState restores a snapshot produced by MarshalState against the
+// same parameter list (same order, same shapes).
+func (a *Adam) UnmarshalState(params []*Param, data []byte) error {
+	var st adamState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode adam: %w", err)
+	}
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam snapshot covers %d params, model has %d", len(st.M), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.W) || len(st.V[i]) != len(p.W) {
+			return fmt.Errorf("nn: adam snapshot param %d length mismatch", i)
+		}
+	}
+	a.t = st.T
+	if a.m == nil {
+		a.m = make(map[*Param][]float64)
+	}
+	if a.v == nil {
+		a.v = make(map[*Param][]float64)
+	}
+	for i, p := range params {
+		a.m[p] = append([]float64(nil), st.M[i]...)
+		a.v[p] = append([]float64(nil), st.V[i]...)
+	}
+	return nil
+}
+
+// SaveOptimizer snapshots opt's state over params when the optimizer kind
+// carries state (Adam); stateless optimizers return an empty snapshot.
+func SaveOptimizer(opt Optimizer, params []*Param) ([]byte, error) {
+	if a, ok := opt.(*Adam); ok {
+		return a.MarshalState(params)
+	}
+	return []byte{}, nil
+}
+
+// LoadOptimizer restores a SaveOptimizer snapshot into opt. An empty
+// snapshot leaves the optimizer untouched (fresh state).
+func LoadOptimizer(opt Optimizer, params []*Param, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if a, ok := opt.(*Adam); ok {
+		return a.UnmarshalState(params, data)
+	}
+	return fmt.Errorf("nn: optimizer snapshot for a stateless optimizer")
+}

@@ -1,0 +1,438 @@
+// Package persist is the durable-state subsystem of the streaming daemon:
+// it stores full-detector checkpoints and a per-stream write-ahead log of
+// the vectors observed since the last checkpoint, so a crashed or
+// redeployed process resumes scoring exactly where it stopped instead of
+// re-warming on live traffic.
+//
+// Layout: one Store owns a directory with two files per stream,
+//
+//	<escaped-id>.snap   — versioned, CRC-checked snapshot (atomic rename)
+//	<escaped-id>.wal    — append-only log of raw stream vectors
+//
+// Recovery contract: load the snapshot, then re-step every WAL record
+// whose sequence number is at or past the snapshot's — records below it
+// are already folded into the snapshot (a crash between snapshot rename
+// and WAL rotation leaves such records behind; the filter makes that
+// window harmless). Corrupt or truncated files are detected by magic,
+// version and CRC checks and reported; a torn final WAL record — the
+// normal shape of a mid-write crash — is reported as ErrTornWAL with the
+// valid prefix intact.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	snapMagic   = "SADSNAP1"
+	walMagic    = "SADWAL01"
+	// Version identifies the on-disk layout of both file kinds.
+	Version uint32 = 1
+
+	snapSuffix = ".snap"
+	walSuffix  = ".wal"
+)
+
+// castagnoli is the CRC-32C table used for all integrity checks.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTornWAL reports a WAL whose final record was cut short — the expected
+// shape of a crash mid-append. The records before the tear are valid.
+var ErrTornWAL = errors.New("persist: torn final WAL record")
+
+// StreamSnapshot is one stream's checkpoint: the opaque detector blob
+// (streamad.Detector.Save), the thresholder state and the serving
+// counters. Seq is the number of vectors the stream had consumed when the
+// snapshot was taken; WAL records with Seq' >= Seq must be replayed on
+// recovery.
+type StreamSnapshot struct {
+	ID        string
+	Seq       uint64
+	Detector  []byte
+	Threshold []byte
+	Ready     int
+	Alerts    int
+}
+
+// WALRecord is one logged stream vector.
+type WALRecord struct {
+	Seq    uint64
+	Vector []float64
+}
+
+// Store manages the snapshot and WAL files of a state directory.
+type Store struct {
+	dir string
+	// SyncWAL fsyncs after every WAL append. Off by default: the WAL then
+	// survives process crashes (the common case) but a power failure may
+	// cost the OS write-back window.
+	SyncWAL bool
+
+	mu   sync.Mutex
+	wals map[string]*os.File
+}
+
+// Open creates (if needed) and opens a state directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("persist: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: create state dir: %w", err)
+	}
+	return &Store{dir: dir, wals: make(map[string]*os.File)}, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases all open WAL handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, f := range s.wals {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.wals, id)
+	}
+	return first
+}
+
+// escapeID maps an arbitrary stream id to a safe file-name stem:
+// alphanumerics, '-' and '_' pass through, everything else becomes %XX.
+// The mapping is injective, so IDs() can invert it.
+func escapeID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeID inverts escapeID.
+func unescapeID(name string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", fmt.Errorf("persist: malformed escaped stream name %q", name)
+		}
+		var v int
+		if _, err := fmt.Sscanf(name[i+1:i+3], "%02X", &v); err != nil {
+			return "", fmt.Errorf("persist: malformed escaped stream name %q", name)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+func (s *Store) snapPath(id string) string { return filepath.Join(s.dir, escapeID(id)+snapSuffix) }
+func (s *Store) walPath(id string) string  { return filepath.Join(s.dir, escapeID(id)+walSuffix) }
+
+// IDs lists every stream with persisted state (a snapshot, a WAL, or
+// both), sorted.
+func (s *Store) IDs() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: read state dir: %w", err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		var stem string
+		switch {
+		case strings.HasSuffix(name, snapSuffix):
+			stem = strings.TrimSuffix(name, snapSuffix)
+		case strings.HasSuffix(name, walSuffix):
+			stem = strings.TrimSuffix(name, walSuffix)
+		default:
+			continue
+		}
+		id, err := unescapeID(stem)
+		if err != nil {
+			continue // foreign file; not ours to interpret
+		}
+		seen[id] = true
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// WriteSnapshot atomically persists a stream snapshot (temp file + fsync +
+// rename) and then rotates the stream's WAL. The caller must guarantee no
+// concurrent appends for the same stream (the server holds the stream lock).
+func (s *Store) WriteSnapshot(snap *StreamSnapshot) error {
+	file, err := EncodeSnapshotFile(snap)
+	if err != nil {
+		return err
+	}
+	final := s.snapPath(snap.ID)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(file); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publish snapshot: %w", err)
+	}
+	// The snapshot now covers every logged vector below Seq; drop the WAL.
+	// A crash before this truncate is harmless — recovery filters replay by
+	// sequence number.
+	return s.rotateWAL(snap.ID)
+}
+
+// ReadSnapshot loads and verifies a stream's snapshot. A missing file
+// returns os.ErrNotExist.
+func (s *Store) ReadSnapshot(id string) (*StreamSnapshot, error) {
+	raw, err := os.ReadFile(s.snapPath(id))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(snapMagic)+16 {
+		return nil, fmt.Errorf("persist: snapshot %q truncated (%d bytes)", id, len(raw))
+	}
+	if string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("persist: snapshot %q has wrong magic", id)
+	}
+	hdr := raw[len(snapMagic):]
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	if version != Version {
+		return nil, fmt.Errorf("persist: snapshot %q version %d, this build reads %d", id, version, Version)
+	}
+	size := binary.LittleEndian.Uint64(hdr[4:12])
+	sum := binary.LittleEndian.Uint32(hdr[12:16])
+	body := hdr[16:]
+	if uint64(len(body)) != size {
+		return nil, fmt.Errorf("persist: snapshot %q truncated: header says %d payload bytes, file has %d",
+			id, size, len(body))
+	}
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, fmt.Errorf("persist: snapshot %q failed CRC check", id)
+	}
+	var snap StreamSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decode snapshot %q: %w", id, err)
+	}
+	return &snap, nil
+}
+
+// walHandle returns (opening if needed) the stream's append handle.
+// Callers must hold s.mu.
+func (s *Store) walHandle(id string) (*os.File, error) {
+	if f, ok := s.wals[id]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(s.walPath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open WAL: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: stat WAL: %w", err)
+	}
+	if info.Size() == 0 {
+		var hdr [12]byte
+		copy(hdr[:8], walMagic)
+		binary.LittleEndian.PutUint32(hdr[8:12], Version)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: write WAL header: %w", err)
+		}
+	}
+	s.wals[id] = f
+	return f, nil
+}
+
+// Append logs one observed vector for a stream. Seq is the index of the
+// vector in the stream's lifetime (0-based).
+func (s *Store) Append(id string, seq uint64, vector []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.walHandle(id)
+	if err != nil {
+		return err
+	}
+	rec := encodeRecord(seq, vector)
+	if _, err := f.Write(rec); err != nil {
+		return fmt.Errorf("persist: append WAL: %w", err)
+	}
+	if s.SyncWAL {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("persist: sync WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// encodeRecord lays out one WAL record:
+//
+//	crc32c  uint32   over the remaining fields
+//	count   uint32   vector length
+//	seq     uint64
+//	vector  count × float64 bits
+func encodeRecord(seq uint64, vector []float64) []byte {
+	n := len(vector)
+	rec := make([]byte, 16+8*n)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(n))
+	binary.LittleEndian.PutUint64(rec[8:16], seq)
+	for i, v := range vector {
+		binary.LittleEndian.PutUint64(rec[16+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(rec[0:4], crc32.Checksum(rec[4:], castagnoli))
+	return rec
+}
+
+// rotateWAL closes and truncates a stream's WAL after a snapshot.
+func (s *Store) rotateWAL(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.wals[id]; ok {
+		f.Close()
+		delete(s.wals, id)
+	}
+	if err := os.Remove(s.walPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("persist: rotate WAL: %w", err)
+	}
+	return nil
+}
+
+// ReadWAL returns the stream's logged vectors in append order. A missing
+// WAL returns an empty slice. A torn final record returns the valid prefix
+// together with ErrTornWAL; any other inconsistency (bad magic, version,
+// mid-file CRC failure) returns the valid prefix and a hard error so the
+// caller can report it — nothing is ever silently half-loaded.
+func (s *Store) ReadWAL(id string) ([]WALRecord, error) {
+	raw, err := os.ReadFile(s.walPath(id))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("persist: read WAL: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	if len(raw) < 12 {
+		return nil, fmt.Errorf("%w: header cut at %d bytes", ErrTornWAL, len(raw))
+	}
+	if string(raw[:8]) != walMagic {
+		return nil, fmt.Errorf("persist: WAL %q has wrong magic", id)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != Version {
+		return nil, fmt.Errorf("persist: WAL %q version %d, this build reads %d", id, v, Version)
+	}
+	var recs []WALRecord
+	off := 12
+	for off < len(raw) {
+		if len(raw)-off < 16 {
+			return recs, fmt.Errorf("%w: %d trailing bytes", ErrTornWAL, len(raw)-off)
+		}
+		sum := binary.LittleEndian.Uint32(raw[off : off+4])
+		n := int(binary.LittleEndian.Uint32(raw[off+4 : off+8]))
+		seq := binary.LittleEndian.Uint64(raw[off+8 : off+16])
+		end := off + 16 + 8*n
+		if n < 0 || end < off || end > len(raw) {
+			return recs, fmt.Errorf("%w: record at offset %d cut short", ErrTornWAL, off)
+		}
+		if crc32.Checksum(raw[off+4:end], castagnoli) != sum {
+			return recs, fmt.Errorf("persist: WAL %q record at offset %d failed CRC check", id, off)
+		}
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off+16+8*i:]))
+		}
+		recs = append(recs, WALRecord{Seq: seq, Vector: vec})
+		off = end
+	}
+	return recs, nil
+}
+
+// WALEntries counts the records currently in a stream's WAL without
+// decoding vectors; used by tests and diagnostics.
+func (s *Store) WALEntries(id string) (int, error) {
+	recs, err := s.ReadWAL(id)
+	if err != nil && !errors.Is(err, ErrTornWAL) {
+		return len(recs), err
+	}
+	return len(recs), nil
+}
+
+// Remove deletes all persisted state of one stream.
+func (s *Store) Remove(id string) error {
+	s.mu.Lock()
+	if f, ok := s.wals[id]; ok {
+		f.Close()
+		delete(s.wals, id)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, p := range []string{s.snapPath(id), s.walPath(id)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// EncodeSnapshotFile renders a snapshot in the exact on-disk file format
+// (magic, version, CRC, payload) without writing it, for ops endpoints
+// that stream checkpoints to backups.
+func EncodeSnapshotFile(snap *StreamSnapshot) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return nil, fmt.Errorf("persist: encode snapshot %q: %w", snap.ID, err)
+	}
+	body := payload.Bytes()
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(body)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(body, castagnoli))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,59 @@
+// Package randstate makes math/rand streams checkpointable without
+// changing their sequences. A CountedSource wraps the standard library
+// source and counts how many values have been drawn; a checkpoint stores
+// just (seed, draws) and a restore re-creates the source and fast-forwards
+// it, so the restored stream continues exactly where the saved one
+// stopped. Counting at the Source level (not the Rand level) is what makes
+// this exact: rejection-sampling helpers like NormFloat64 and Intn consume
+// a variable number of source values, but every one of them is counted.
+package randstate
+
+import "math/rand"
+
+// CountedSource is a rand.Source64 that counts draws.
+type CountedSource struct {
+	seed  int64
+	src   rand.Source64
+	draws uint64
+}
+
+// NewCountedSource returns a counted source over rand.NewSource(seed).
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (c *CountedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (c *CountedSource) Seed(seed int64) {
+	c.seed = seed
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+// Draws returns the number of values drawn since the last (re)seed.
+func (c *CountedSource) Draws() uint64 { return c.draws }
+
+// SeedValue returns the seed the source was created or last reseeded with.
+func (c *CountedSource) SeedValue() int64 { return c.seed }
+
+// Restore reseeds the source and fast-forwards it by draws values. The
+// standard library source advances exactly one internal step per Int63 or
+// Uint64 call, so replaying by count reproduces the stream position.
+func (c *CountedSource) Restore(seed int64, draws uint64) {
+	c.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		c.src.Uint64()
+	}
+	c.draws = draws
+}

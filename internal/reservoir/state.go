@@ -1,0 +1,151 @@
+package reservoir
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The strategies' random draws are not part of these snapshots: the RNG is
+// owned and seeded by the caller that built the reservoir, which records
+// the number of draws consumed and replays them on restore.
+
+// slidingState is the serializable form of a SlidingWindow: the stored
+// vectors, oldest first, so the head index normalizes to zero on restore.
+type slidingState struct {
+	M    int
+	Dim  int
+	Flat []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *SlidingWindow) MarshalBinary() ([]byte, error) {
+	flat := make([]float64, 0, s.count*s.dim)
+	for i := 0; i < s.count; i++ {
+		flat = append(flat, s.items[(s.head+i)%s.m]...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(slidingState{M: s.m, Dim: s.dim, Flat: flat}); err != nil {
+		return nil, fmt.Errorf("reservoir: encode sliding window: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// capacity and dimension must match the snapshot.
+func (s *SlidingWindow) UnmarshalBinary(data []byte) error {
+	var st slidingState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("reservoir: decode sliding window: %w", err)
+	}
+	if st.M != s.m || st.Dim != s.dim {
+		return fmt.Errorf("reservoir: sliding-window snapshot (m=%d dim=%d) != receiver (m=%d dim=%d)",
+			st.M, st.Dim, s.m, s.dim)
+	}
+	if st.Dim <= 0 || len(st.Flat)%st.Dim != 0 || len(st.Flat) > st.M*st.Dim {
+		return fmt.Errorf("reservoir: sliding-window snapshot length %d inconsistent with m=%d dim=%d",
+			len(st.Flat), st.M, st.Dim)
+	}
+	n := len(st.Flat) / st.Dim
+	s.head = 0
+	s.count = n
+	for i := 0; i < n; i++ {
+		copy(s.items[i], st.Flat[i*st.Dim:(i+1)*st.Dim])
+	}
+	return nil
+}
+
+// uniformState is the serializable form of a UniformReservoir. T is the
+// total observation count driving the m/t keep probability.
+type uniformState struct {
+	M    int
+	Dim  int
+	T    int
+	Flat []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (u *UniformReservoir) MarshalBinary() ([]byte, error) {
+	flat := make([]float64, 0, u.count*u.dim)
+	for i := 0; i < u.count; i++ {
+		flat = append(flat, u.items[i]...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(uniformState{M: u.m, Dim: u.dim, T: u.t, Flat: flat}); err != nil {
+		return nil, fmt.Errorf("reservoir: encode uniform reservoir: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// capacity and dimension must match the snapshot.
+func (u *UniformReservoir) UnmarshalBinary(data []byte) error {
+	var st uniformState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("reservoir: decode uniform reservoir: %w", err)
+	}
+	if st.M != u.m || st.Dim != u.dim {
+		return fmt.Errorf("reservoir: uniform snapshot (m=%d dim=%d) != receiver (m=%d dim=%d)",
+			st.M, st.Dim, u.m, u.dim)
+	}
+	if st.Dim <= 0 || len(st.Flat)%st.Dim != 0 || len(st.Flat) > st.M*st.Dim {
+		return fmt.Errorf("reservoir: uniform snapshot length %d inconsistent with m=%d dim=%d",
+			len(st.Flat), st.M, st.Dim)
+	}
+	n := len(st.Flat) / st.Dim
+	u.count = n
+	u.t = st.T
+	for i := 0; i < n; i++ {
+		copy(u.items[i], st.Flat[i*st.Dim:(i+1)*st.Dim])
+	}
+	return nil
+}
+
+// aresState is the serializable form of an AnomalyAwareReservoir: the heap
+// entries in their exact array order, so the restored heap evolves
+// identically to the saved one.
+type aresState struct {
+	M          int
+	Dim        int
+	Priorities []float64
+	Flat       []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (a *AnomalyAwareReservoir) MarshalBinary() ([]byte, error) {
+	st := aresState{M: a.m, Dim: a.dim}
+	for _, e := range a.h.entries {
+		st.Priorities = append(st.Priorities, e.p)
+		st.Flat = append(st.Flat, e.vec...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("reservoir: encode anomaly-aware reservoir: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// capacity and dimension must match the snapshot.
+func (a *AnomalyAwareReservoir) UnmarshalBinary(data []byte) error {
+	var st aresState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("reservoir: decode anomaly-aware reservoir: %w", err)
+	}
+	if st.M != a.m || st.Dim != a.dim {
+		return fmt.Errorf("reservoir: ares snapshot (m=%d dim=%d) != receiver (m=%d dim=%d)",
+			st.M, st.Dim, a.m, a.dim)
+	}
+	if st.Dim <= 0 || len(st.Flat) != len(st.Priorities)*st.Dim || len(st.Priorities) > st.M {
+		return fmt.Errorf("reservoir: ares snapshot holds %d priorities and %d values (m=%d dim=%d)",
+			len(st.Priorities), len(st.Flat), st.M, st.Dim)
+	}
+	entries := make([]priorityEntry, len(st.Priorities))
+	for i := range entries {
+		v := make([]float64, st.Dim)
+		copy(v, st.Flat[i*st.Dim:(i+1)*st.Dim])
+		entries[i] = priorityEntry{p: st.Priorities[i], vec: v}
+	}
+	a.h.entries = entries
+	return nil
+}

@@ -1,0 +1,160 @@
+package score
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler; Raw has no state.
+func (Raw) MarshalBinary() ([]byte, error) { return []byte{}, nil }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for Raw.
+func (Raw) UnmarshalBinary([]byte) error { return nil }
+
+// averageState is the serializable form of the Average scorer.
+type averageState struct {
+	Ring []byte
+	Sum  float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Average) MarshalBinary() ([]byte, error) {
+	ring, err := s.ring.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(averageState{Ring: ring, Sum: s.sum}); err != nil {
+		return nil, fmt.Errorf("score: encode average: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// window size must match the snapshot.
+func (s *Average) UnmarshalBinary(data []byte) error {
+	var st averageState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("score: decode average: %w", err)
+	}
+	if err := s.ring.UnmarshalBinary(st.Ring); err != nil {
+		return err
+	}
+	s.sum = st.Sum
+	return nil
+}
+
+// likelihoodState is the serializable form of the AnomalyLikelihood scorer.
+type likelihoodState struct {
+	Long   []byte
+	Short  []byte
+	SumL   float64
+	SumSqL float64
+	SumS   float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *AnomalyLikelihood) MarshalBinary() ([]byte, error) {
+	long, err := s.long.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	short, err := s.short.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(likelihoodState{
+		Long: long, Short: short, SumL: s.sumL, SumSqL: s.sumSqL, SumS: s.sumS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("score: encode likelihood: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// window sizes must match the snapshot.
+func (s *AnomalyLikelihood) UnmarshalBinary(data []byte) error {
+	var st likelihoodState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("score: decode likelihood: %w", err)
+	}
+	if err := s.long.UnmarshalBinary(st.Long); err != nil {
+		return err
+	}
+	if err := s.short.UnmarshalBinary(st.Short); err != nil {
+		return err
+	}
+	s.sumL, s.sumSqL, s.sumS = st.SumL, st.SumSqL, st.SumS
+	return nil
+}
+
+// staticState is the serializable form of a StaticThresholder.
+type staticState struct {
+	T float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *StaticThresholder) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(staticState{T: s.T}); err != nil {
+		return nil, fmt.Errorf("score: encode static threshold: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *StaticThresholder) UnmarshalBinary(data []byte) error {
+	var st staticState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("score: decode static threshold: %w", err)
+	}
+	s.T = st.T
+	return nil
+}
+
+// quantileState is the serializable form of a P² quantile thresholder:
+// the five marker positions, desired positions and heights.
+type quantileState struct {
+	Q       float64
+	N       [5]float64
+	NP      [5]float64
+	DN      [5]float64
+	Heights [5]float64
+	Count   int
+	Init    []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *QuantileThresholder) MarshalBinary() ([]byte, error) {
+	st := quantileState{
+		Q: p.q, N: p.n, NP: p.np, DN: p.dn, Heights: p.heights,
+		Count: p.count, Init: append([]float64(nil), p.init...),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("score: encode quantile threshold: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// quantile must match the snapshot.
+func (p *QuantileThresholder) UnmarshalBinary(data []byte) error {
+	var st quantileState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("score: decode quantile threshold: %w", err)
+	}
+	if st.Q != p.q {
+		return fmt.Errorf("score: quantile snapshot q=%v != receiver q=%v", st.Q, p.q)
+	}
+	if len(st.Init) > 5 {
+		return fmt.Errorf("score: quantile snapshot has %d init values", len(st.Init))
+	}
+	p.n, p.np, p.dn, p.heights = st.N, st.NP, st.DN, st.Heights
+	p.count = st.Count
+	p.init = append(p.init[:0], st.Init...)
+	return nil
+}

@@ -6,6 +6,7 @@
 //	POST /v1/streams/{id}/observe   {"vector": [..]}        → score + alert
 //	GET  /v1/streams                                         → stream list
 //	GET  /v1/streams/{id}                                    → stream stats
+//	GET  /v1/streams/{id}/snapshot                           → checkpoint file
 //	GET  /healthz                                            → 200 ok
 //
 // Observe is synchronous (the detector runs in the request handler, with
@@ -16,12 +17,15 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"streamad/internal/core"
+	"streamad/internal/persist"
 	"streamad/internal/score"
 )
 
@@ -39,6 +43,18 @@ type Config struct {
 	NewThresholder func(stream string) score.Thresholder
 	// MaxStreams bounds the number of live streams (default 1024).
 	MaxStreams int
+	// Store, when set, makes the server durable: every observed vector is
+	// appended to the stream's WAL before it is scored, snapshots are taken
+	// in the background, and RestoreStreams rebuilds state on startup.
+	Store *persist.Store
+	// SnapshotInterval is how often the background snapshotter checkpoints
+	// streams with WAL entries outstanding (0 disables timed snapshots).
+	SnapshotInterval time.Duration
+	// SnapshotEvery checkpoints a stream once this many vectors accumulate
+	// in its WAL, independent of the timer (0 disables the entry trigger).
+	SnapshotEvery int
+	// Logf receives persistence diagnostics (default: discard).
+	Logf func(format string, args ...interface{})
 }
 
 // Server is an http.Handler serving the scoring API.
@@ -47,6 +63,12 @@ type Server struct {
 	mu      sync.Mutex
 	streams map[string]*stream
 	mux     *http.ServeMux
+
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+	snapKick  chan string
+	closeOnce sync.Once
+	closeErr  error
 }
 
 type stream struct {
@@ -56,6 +78,9 @@ type stream struct {
 	steps  int
 	ready  int
 	alerts int
+	// walSince counts vectors appended to the WAL since the last
+	// snapshot; it is what the snapshot triggers look at.
+	walSince int
 }
 
 // New validates the configuration and returns a Server.
@@ -71,11 +96,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxStreams <= 0 {
 		cfg.MaxStreams = 1024
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
 	s := &Server{cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/streams", s.handleList)
 	s.mux.HandleFunc("/v1/streams/", s.handleStream)
+	if cfg.Store != nil {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		s.snapKick = make(chan string, 64)
+		go s.snapshotter()
+	}
 	return s, nil
 }
 
@@ -187,6 +221,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.handleStats(w, id)
 	case len(parts) == 2 && parts[1] == "observe" && r.Method == http.MethodPost:
 		s.handleObserve(w, r, id)
+	case len(parts) == 2 && parts[1] == "snapshot" && r.Method == http.MethodGet:
+		s.handleSnapshot(w, id)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
@@ -229,6 +265,21 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	step := st.steps
+	if s.cfg.Store != nil {
+		// Log before scoring: a vector the WAL cannot hold is not consumed,
+		// so the on-disk state never lags what the detector has seen.
+		if err := s.cfg.Store.Append(id, uint64(step), req.Vector); err != nil {
+			http.Error(w, "persist: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		st.walSince++
+		if s.cfg.SnapshotEvery > 0 && st.walSince >= s.cfg.SnapshotEvery {
+			select {
+			case s.snapKick <- id:
+			default: // snapshotter busy; the next trigger catches it
+			}
+		}
+	}
 	st.steps++
 	res, ok := safeStep(st.det, req.Vector)
 	if !ok.ok {
@@ -247,7 +298,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		FineTuned:     res.FineTuned,
 		Step:          step,
 	}
-	resp.Threshold = st.th.Threshold()
+	// The quantile policy reports +Inf until it has enough scores, and
+	// encoding/json cannot represent non-finite values — leave the field
+	// empty until the threshold is real.
+	if th := st.th.Threshold(); !math.IsInf(th, 0) && !math.IsNaN(th) {
+		resp.Threshold = th
+	}
 	if st.th.Alert(res.Score) {
 		resp.Alert = true
 		st.alerts++

@@ -65,6 +65,15 @@ func (r *Running) Replace(old, x float64) {
 // Reset clears the accumulator.
 func (r *Running) Reset() { *r = Running{} }
 
+// State exposes the accumulator's raw moments (count, mean, sum of squared
+// deviations) for checkpointing.
+func (r *Running) State() (n int, mean, m2 float64) { return r.n, r.mean, r.m2 }
+
+// SetState restores an accumulator captured with State.
+func (r *Running) SetState(n int, mean, m2 float64) {
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
 // QFunc is the Gaussian tail distribution function
 // Q(x) = P(Z > x) = 0.5·erfc(x/√2) for a standard normal Z.
 func QFunc(x float64) float64 {

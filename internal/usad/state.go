@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"streamad/internal/nn"
 )
 
 // state is the serializable form of USAD: the three networks, the input
-// normalization and the adversarial schedule position.
+// normalization, the adversarial schedule position and both optimizers'
+// Adam moments, so resumed fine-tuning continues the exact trajectory.
 type state struct {
 	Dim    int
 	Latent int
@@ -16,7 +19,14 @@ type state struct {
 	Dec1   []byte
 	Dec2   []byte
 	Scaler []byte
+	Opt1   []byte
+	Opt2   []byte
 }
+
+// opt1Params and opt2Params return the parameter lists the two objectives
+// step, in the exact order Fit uses them.
+func (m *Model) opt1Params() []*nn.Param { return append(m.enc.Params(), m.dec1.Params()...) }
+func (m *Model) opt2Params() []*nn.Param { return append(m.enc.Params(), m.dec2.Params()...) }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (m *Model) MarshalBinary() ([]byte, error) {
@@ -36,10 +46,18 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	o1, err := nn.SaveOptimizer(m.opt1, m.opt1Params())
+	if err != nil {
+		return nil, err
+	}
+	o2, err := nn.SaveOptimizer(m.opt2, m.opt2Params())
+	if err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
 	err = gob.NewEncoder(&buf).Encode(state{
 		Dim: m.dim, Latent: m.latent, Epoch: m.epoch,
-		Enc: enc, Dec1: d1, Dec2: d2, Scaler: sc,
+		Enc: enc, Dec1: d1, Dec2: d2, Scaler: sc, Opt1: o1, Opt2: o2,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("usad: encode: %w", err)
@@ -68,6 +86,12 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	if err := m.scaler.UnmarshalBinary(st.Scaler); err != nil {
+		return err
+	}
+	if err := nn.LoadOptimizer(m.opt1, m.opt1Params(), st.Opt1); err != nil {
+		return err
+	}
+	if err := nn.LoadOptimizer(m.opt2, m.opt2Params(), st.Opt2); err != nil {
 		return err
 	}
 	m.epoch = st.Epoch

@@ -1,0 +1,83 @@
+package window
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// ringState is the serializable form of a Ring: contents oldest-first, so
+// the head index normalizes to zero on restore.
+type ringState struct {
+	Cap  int
+	Vals []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r *Ring) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ringState{Cap: r.Cap(), Vals: r.Slice()}); err != nil {
+		return nil, fmt.Errorf("window: encode ring: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// capacity must match the snapshot.
+func (r *Ring) UnmarshalBinary(data []byte) error {
+	var st ringState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("window: decode ring: %w", err)
+	}
+	if st.Cap != r.Cap() {
+		return fmt.Errorf("window: ring snapshot capacity %d != %d", st.Cap, r.Cap())
+	}
+	if len(st.Vals) > st.Cap {
+		return fmt.Errorf("window: ring snapshot holds %d values, capacity %d", len(st.Vals), st.Cap)
+	}
+	r.Reset()
+	for _, v := range st.Vals {
+		r.Push(v)
+	}
+	return nil
+}
+
+// vecRingState is the serializable form of a VecRing: the stored vectors,
+// oldest first, flattened row-major.
+type vecRingState struct {
+	Cap  int
+	Dim  int
+	Flat []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r *VecRing) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(vecRingState{Cap: r.Cap(), Dim: r.dim, Flat: r.Flatten()})
+	if err != nil {
+		return nil, fmt.Errorf("window: encode vec ring: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the receiver's
+// capacity and vector dimension must match the snapshot.
+func (r *VecRing) UnmarshalBinary(data []byte) error {
+	var st vecRingState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("window: decode vec ring: %w", err)
+	}
+	if st.Cap != r.Cap() || st.Dim != r.dim {
+		return fmt.Errorf("window: vec ring snapshot (cap=%d dim=%d) != receiver (cap=%d dim=%d)",
+			st.Cap, st.Dim, r.Cap(), r.dim)
+	}
+	if st.Dim <= 0 || len(st.Flat)%st.Dim != 0 || len(st.Flat) > st.Cap*st.Dim {
+		return fmt.Errorf("window: vec ring snapshot length %d inconsistent with cap=%d dim=%d",
+			len(st.Flat), st.Cap, st.Dim)
+	}
+	r.Reset()
+	for i := 0; i < len(st.Flat)/st.Dim; i++ {
+		r.Push(st.Flat[i*st.Dim : (i+1)*st.Dim])
+	}
+	return nil
+}

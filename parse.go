@@ -47,7 +47,7 @@ func ParseTask1(s string) (Task1, error) {
 }
 
 // ParseTask2 converts a drift-strategy name into a Task2. Recognized
-// names: musigma, ms, kswin, ks, regular.
+// names: musigma, ms, kswin, ks, regular, adwin.
 func ParseTask2(s string) (Task2, error) {
 	switch strings.ToLower(s) {
 	case "musigma", "mu-sigma", "ms":

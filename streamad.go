@@ -35,6 +35,7 @@ import (
 	"streamad/internal/iforest"
 	"streamad/internal/knn"
 	"streamad/internal/nbeats"
+	"streamad/internal/randstate"
 	"streamad/internal/reservoir"
 	"streamad/internal/score"
 	"streamad/internal/usad"
@@ -301,6 +302,9 @@ type Detector struct {
 	inner *core.Detector
 	model core.Model
 	cfg   Config
+	// src drives the Task 1 strategies' random draws; counting them makes
+	// the RNG position part of the Save/Load checkpoint.
+	src *randstate.CountedSource
 }
 
 // Result re-exports the per-step output of the framework.
@@ -318,7 +322,8 @@ func New(cfg Config) (*Detector, error) {
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	src := randstate.NewCountedSource(cfg.Seed + 7919)
+	rng := rand.New(src)
 	var set reservoir.TrainingSet
 	switch cfg.Task1 {
 	case TaskSlidingWindow:
@@ -382,7 +387,7 @@ func New(cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{inner: inner, model: model, cfg: cfg}, nil
+	return &Detector{inner: inner, model: model, cfg: cfg, src: src}, nil
 }
 
 func buildModel(cfg Config) (core.Model, error) {
