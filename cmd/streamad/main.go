@@ -6,6 +6,7 @@
 // Usage:
 //
 //	streamad -model usad -task1 sw -task2 musigma -score likelihood data.csv
+//	streamad -spec 'ensemble(arima+sw+kswin, usad+ares+regular; agg=median)' data.csv
 //	streamad -gen daphnet -out stream.csv        # generate a demo corpus file
 package main
 
@@ -21,6 +22,7 @@ import (
 
 func main() {
 	var (
+		spec      = flag.String("spec", "", `pipeline or ensemble spec, e.g. "arima+sw+kswin" or "ensemble(arima+sw+kswin, usad+ares+regular; agg=median)"; overrides -model/-task1/-task2/-score`)
 		modelName = flag.String("model", "usad", "model: arima|pcb|ae|usad|nbeats|var")
 		task1Name = flag.String("task1", "sw", "training-set strategy: sw|ures|ares")
 		task2Name = flag.String("task2", "musigma", "drift strategy: musigma|kswin|regular")
@@ -49,7 +51,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *modelName, *task1Name, *task2Name, *scoreName,
+	if err := run(flag.Arg(0), *spec, *modelName, *task1Name, *task2Name, *scoreName,
 		*window, *train, *warmup, *seed, *threshold, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -82,7 +84,7 @@ func generate(corpus, out string) error {
 	return dataset.WriteCSV(w, c.Series[0])
 }
 
-func run(path, model, task1, task2, score string, window, train, warmup int, seed int64, threshold float64, quiet bool) error {
+func run(path, spec, model, task1, task2, score string, window, train, warmup int, seed int64, threshold float64, quiet bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,29 +94,39 @@ func run(path, model, task1, task2, score string, window, train, warmup int, see
 	if err != nil {
 		return err
 	}
-	mk, err := streamad.ParseModelKind(model)
-	if err != nil {
-		return err
-	}
-	t1, err := streamad.ParseTask1(task1)
-	if err != nil {
-		return err
-	}
-	t2, err := streamad.ParseTask2(task2)
-	if err != nil {
-		return err
-	}
-	sk, err := streamad.ParseScoreKind(score)
-	if err != nil {
-		return err
-	}
-	det, err := streamad.New(streamad.Config{
-		Model: mk, Task1: t1, Task2: t2, Score: sk,
+	base := streamad.Config{
 		Channels: series.Channels(), Window: window, TrainSize: train,
 		WarmupVectors: warmup, Seed: seed,
-	})
+	}
+	var det streamad.StreamDetector
+	if spec != "" {
+		det, err = streamad.NewFromSpec(spec, base)
+	} else {
+		mk, perr := streamad.ParseModelKind(model)
+		if perr != nil {
+			return perr
+		}
+		t1, perr := streamad.ParseTask1(task1)
+		if perr != nil {
+			return perr
+		}
+		t2, perr := streamad.ParseTask2(task2)
+		if perr != nil {
+			return perr
+		}
+		sk, perr := streamad.ParseScoreKind(score)
+		if perr != nil {
+			return perr
+		}
+		cfg := base
+		cfg.Model, cfg.Task1, cfg.Task2, cfg.Score = mk, t1, t2, sk
+		det, err = streamad.New(cfg)
+	}
 	if err != nil {
 		return err
+	}
+	if c, ok := det.(interface{ Close() }); ok {
+		defer c.Close()
 	}
 	scores, valid := det.Run(series.Data)
 	if threshold == 0 {

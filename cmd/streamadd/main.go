@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -33,6 +34,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		spec      = flag.String("spec", "", `pipeline or ensemble spec, e.g. "arima+sw+kswin" or "ensemble(arima+sw+kswin, usad+ares+regular; agg=median)"; overrides -model/-task1/-task2/-score`)
 		modelName = flag.String("model", "usad", "model: arima|arima-ons|pcb|ae|usad|nbeats|var|knn")
 		task1Name = flag.String("task1", "sw", "training-set strategy: sw|ures|ares")
 		task2Name = flag.String("task2", "musigma", "drift strategy: musigma|kswin|regular|adwin")
@@ -51,24 +53,55 @@ func main() {
 	if *channels <= 0 {
 		log.Fatal("streamadd: -channels is required")
 	}
-	mk, err := streamad.ParseModelKind(*modelName)
-	if err != nil {
-		log.Fatal(err)
+	base := streamad.Config{
+		Channels: *channels, Window: *window, TrainSize: *train, Seed: *seed,
 	}
-	t1, err := streamad.ParseTask1(*task1Name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t2, err := streamad.ParseTask2(*task2Name)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sk, err := streamad.ParseScoreKind(*scoreName)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		newDetector func(string) (server.Stepper, error)
+		pipeline    string
+	)
+	if *spec != "" {
+		// Build one throwaway detector now so a bad spec — including member
+		// pipelines the model layer rejects — fails at startup, not on the
+		// first observe.
+		probe, err := streamad.NewFromSpec(*spec, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c, ok := probe.(interface{ Close() }); ok {
+			c.Close()
+		}
+		newDetector = func(string) (server.Stepper, error) {
+			return streamad.NewFromSpec(*spec, base)
+		}
+		pipeline = "spec=" + *spec
+	} else {
+		mk, err := streamad.ParseModelKind(*modelName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t1, err := streamad.ParseTask1(*task1Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2, err := streamad.ParseTask2(*task2Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sk, err := streamad.ParseScoreKind(*scoreName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := base
+		cfg.Model, cfg.Task1, cfg.Task2, cfg.Score = mk, t1, t2, sk
+		newDetector = func(string) (server.Stepper, error) {
+			return streamad.New(cfg)
+		}
+		pipeline = fmt.Sprintf("model=%v task1=%v task2=%v score=%v", mk, t1, t2, sk)
 	}
 
 	var store *persist.Store
+	var err error
 	if *stateDir != "" {
 		store, err = persist.Open(*stateDir)
 		if err != nil {
@@ -78,13 +111,7 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		NewDetector: func(stream string) (server.Stepper, error) {
-			return streamad.New(streamad.Config{
-				Model: mk, Task1: t1, Task2: t2, Score: sk,
-				Channels: *channels, Window: *window, TrainSize: *train,
-				Seed: *seed,
-			})
-		},
+		NewDetector: newDetector,
 		NewThresholder: func(string) score.Thresholder {
 			return score.NewQuantileThresholder(*quantile)
 		},
@@ -123,8 +150,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
-	log.Printf("streamadd listening on %s (model=%v task1=%v task2=%v score=%v N=%d)",
-		*addr, mk, t1, t2, sk, *channels)
+	log.Printf("streamadd listening on %s (%s N=%d)", *addr, pipeline, *channels)
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,126 @@
+package ensemble
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshotVersion identifies the Ensemble.Save envelope layout.
+const snapshotVersion = 1
+
+// snapshot is the serializable envelope of an ensemble checkpoint: the
+// configuration fingerprint, each member's own full checkpoint, and the
+// ensemble-level counters (agreement, pruning, step totals) that the
+// member blobs don't know about.
+type snapshot struct {
+	Version    int
+	Agg        int
+	Verdict    float64
+	CounterCap int
+	PruneOn    bool
+	PruneBelow int
+	Steps      int
+	ReadySteps int
+	Members    [][]byte
+	PC         []int
+	Disabled   []bool
+	Ready      []int
+	FineTunes  []int
+	LastScore  []float64
+}
+
+// Save returns a binary checkpoint composing every member's full
+// checkpoint (each member must implement Checkpointer) with the
+// ensemble's own counters. An ensemble restored with Load scores
+// bit-identically to an uninterrupted run from the next vector on.
+func (e *Ensemble) Save() ([]byte, error) {
+	snap := snapshot{
+		Version:    snapshotVersion,
+		Agg:        int(e.agg),
+		Verdict:    e.verdict,
+		CounterCap: e.counterCap,
+		PruneOn:    e.pruneOn,
+		PruneBelow: e.pruneBelow,
+		Steps:      e.steps,
+		ReadySteps: e.readySteps,
+		Members:    make([][]byte, len(e.members)),
+		PC:         make([]int, len(e.members)),
+		Disabled:   make([]bool, len(e.members)),
+		Ready:      make([]int, len(e.members)),
+		FineTunes:  make([]int, len(e.members)),
+		LastScore:  make([]float64, len(e.members)),
+	}
+	for i, m := range e.members {
+		ck, ok := m.det.(Checkpointer)
+		if !ok {
+			return nil, fmt.Errorf("ensemble: member %d (%s) does not support checkpointing", i, m.label)
+		}
+		blob, err := ck.Save()
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: member %d (%s): %w", i, m.label, err)
+		}
+		snap.Members[i] = blob
+		snap.PC[i] = m.pc
+		snap.Disabled[i] = m.disabled
+		snap.Ready[i] = m.ready
+		snap.FineTunes[i] = m.fineTunes
+		snap.LastScore[i] = m.lastScore
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("ensemble: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores a checkpoint produced by Save into this ensemble. The
+// ensemble must have been built with the same configuration (member
+// count, combiner, verdict boundary, counter cap, pruning policy), and
+// every member must accept its own blob — a member's Load checks its
+// pipeline fingerprint, so member order and configuration mismatches are
+// rejected too.
+func (e *Ensemble) Load(data []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("ensemble: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("ensemble: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+	switch {
+	case len(snap.Members) != len(e.members):
+		return fmt.Errorf("ensemble: snapshot has %d members, ensemble has %d", len(snap.Members), len(e.members))
+	case snap.Agg != int(e.agg):
+		return fmt.Errorf("ensemble: snapshot combiner %v does not match ensemble %v", Agg(snap.Agg), e.agg)
+	case snap.Verdict != e.verdict:
+		return fmt.Errorf("ensemble: snapshot verdict %v does not match ensemble %v", snap.Verdict, e.verdict)
+	case snap.CounterCap != e.counterCap:
+		return fmt.Errorf("ensemble: snapshot counter cap %d does not match ensemble %d", snap.CounterCap, e.counterCap)
+	case snap.PruneOn != e.pruneOn || (e.pruneOn && snap.PruneBelow != e.pruneBelow):
+		return fmt.Errorf("ensemble: snapshot pruning policy (%v, %d) does not match ensemble (%v, %d)",
+			snap.PruneOn, snap.PruneBelow, e.pruneOn, e.pruneBelow)
+	}
+	// Restore members first: each member validates its blob against its
+	// own configuration, so a mismatched snapshot fails before any
+	// ensemble-level counter is touched.
+	for i, m := range e.members {
+		ck, ok := m.det.(Checkpointer)
+		if !ok {
+			return fmt.Errorf("ensemble: member %d (%s) does not support checkpointing", i, m.label)
+		}
+		if err := ck.Load(snap.Members[i]); err != nil {
+			return fmt.Errorf("ensemble: member %d (%s): %w", i, m.label, err)
+		}
+	}
+	e.steps = snap.Steps
+	e.readySteps = snap.ReadySteps
+	for i, m := range e.members {
+		m.pc = snap.PC[i]
+		m.disabled = snap.Disabled[i]
+		m.ready = snap.Ready[i]
+		m.fineTunes = snap.FineTunes[i]
+		m.lastScore = snap.LastScore[i]
+	}
+	return nil
+}

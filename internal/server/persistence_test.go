@@ -351,3 +351,122 @@ func TestRecoveryAfterRejectedVector(t *testing.T) {
 		t.Fatalf("restored steps %d, want 61", stats.Steps)
 	}
 }
+
+// ensembleConfig builds a server whose streams are 3-member ensembles
+// with performance-weighted aggregation, matching persistentConfig's
+// base parameters so drift-triggered fine-tunes happen in a 200-step run.
+func ensembleConfig(store *persist.Store) Config {
+	const spec = "ensemble(knn+sw+regular+avg, arima+sw+regular+avg, knn+ures+regular+avg; agg=perf, prune=-8)"
+	return Config{
+		NewDetector: func(string) (Stepper, error) {
+			return streamad.NewFromSpec(spec, streamad.Config{
+				Channels: 3, Window: 8, TrainSize: 30, WarmupVectors: 40, Seed: 3,
+			})
+		},
+		NewThresholder: func(string) score.Thresholder {
+			return score.NewQuantileThresholder(0.95)
+		},
+		Store: store,
+	}
+}
+
+// TestEnsembleCrashRecovery is TestCrashRecovery for ensemble-backed
+// streams: a 3-member ensemble is snapshotted at step 60, killed at 120
+// (sixty vectors only in the WAL), restored, and must continue
+// bit-identically with a reference ensemble that never died — across
+// drift-triggered fine-tunes on both sides of the restore point.
+func TestEnsembleCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	vecs := testVectors(200)
+
+	ref, err := New(ensembleConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refResp := make([]ObserveResponse, len(vecs))
+	fineTunesBeforeKill := 0
+	for i, v := range vecs {
+		refResp[i] = observeDirect(t, ref, "s", v)
+		if i < 120 && refResp[i].FineTuned {
+			fineTunesBeforeKill++
+		}
+	}
+	if fineTunesBeforeKill == 0 {
+		t.Fatal("no fine-tune before the kill point; the recovery path would not cross one")
+	}
+
+	store1, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := New(ensembleConfig(store1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		got := observeDirect(t, srv1, "s", vecs[i])
+		if got != refResp[i] {
+			t.Fatalf("ensemble server diverged before crash at %d: %+v vs %+v", i, got, refResp[i])
+		}
+		if i == 59 {
+			if err := srv1.SnapshotAll(); err != nil {
+				t.Fatalf("SnapshotAll: %v", err)
+			}
+		}
+	}
+	// Crash without Close: member checkpoints live only in the snapshot,
+	// steps 60–119 only in the WAL.
+	store1.Close()
+
+	store2, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	srv2, err := New(ensembleConfig(store2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	restored, warnings, err := srv2.RestoreStreams()
+	if err != nil {
+		t.Fatalf("RestoreStreams: %v", err)
+	}
+	if len(warnings) != 0 || restored != 1 {
+		t.Fatalf("restored=%d warnings=%v", restored, warnings)
+	}
+
+	sawFineTune := false
+	for i := 120; i < 200; i++ {
+		got := observeDirect(t, srv2, "s", vecs[i])
+		if got != refResp[i] {
+			t.Fatalf("restored ensemble diverged at %d:\n got %+v\nwant %+v", i, got, refResp[i])
+		}
+		if got.FineTuned {
+			sawFineTune = true
+		}
+	}
+	if !sawFineTune {
+		t.Fatal("no fine-tune after the restore point; tighten the schedule")
+	}
+
+	// Per-member counters survived the crash: every member has been judged
+	// for all 200 steps, not just the post-restore 80.
+	rec := httptest.NewRecorder()
+	srv2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/streams/s", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != 200 {
+		t.Fatalf("restored stats show %d steps, want 200", stats.Steps)
+	}
+	if len(stats.Members) != 3 {
+		t.Fatalf("restored stats show %d members, want 3", len(stats.Members))
+	}
+	for _, m := range stats.Members {
+		if m.Ready <= 80 {
+			t.Fatalf("member %d ready_steps=%d: counters restarted instead of restoring", m.Index, m.Ready)
+		}
+	}
+}

@@ -5,8 +5,9 @@
 //
 //	POST /v1/streams/{id}/observe   {"vector": [..]}        → score + alert
 //	GET  /v1/streams                                         → stream list
-//	GET  /v1/streams/{id}                                    → stream stats
+//	GET  /v1/streams/{id}                                    → stream stats (incl. ensemble members)
 //	GET  /v1/streams/{id}/snapshot                           → checkpoint file
+//	GET  /metrics                                            → Prometheus text exposition
 //	GET  /healthz                                            → 200 ok
 //
 // Observe is synchronous (the detector runs in the request handler, with
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"streamad/internal/core"
+	"streamad/internal/ensemble"
 	"streamad/internal/persist"
 	"streamad/internal/score"
 )
@@ -32,6 +34,13 @@ import (
 // Stepper is the per-stream detector contract.
 type Stepper interface {
 	Step(s []float64) (core.Result, bool)
+}
+
+// MemberStatser is the optional Stepper extension implemented by
+// ensemble-backed detectors (streamad.Ensemble): per-member counters,
+// agreement and weights, surfaced in stream stats and /metrics.
+type MemberStatser interface {
+	MemberStats() []ensemble.MemberStat
 }
 
 // Config assembles a Server.
@@ -115,7 +124,8 @@ func New(cfg Config) (*Server, error) {
 
 // handleMetrics exposes per-stream counters in the Prometheus text
 // exposition format, so the daemon plugs into standard scraping setups
-// without any dependency.
+// without any dependency. Ensemble-backed streams additionally get one
+// row per member in the streamad_ensemble_member_* families.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -124,13 +134,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	type row struct {
 		id                   string
 		steps, ready, alerts int
+		members              []ensemble.MemberStat
 	}
 	s.mu.Lock()
 	rows := make([]row, 0, len(s.streams))
 	for id, st := range s.streams {
 		st.mu.Lock()
-		rows = append(rows, row{id: id, steps: st.steps, ready: st.ready, alerts: st.alerts})
+		rw := row{id: id, steps: st.steps, ready: st.ready, alerts: st.alerts}
+		if ms, ok := st.det.(MemberStatser); ok {
+			rw.members = ms.MemberStats()
+		}
 		st.mu.Unlock()
+		rows = append(rows, rw)
 	}
 	s.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
@@ -150,6 +165,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "streamad_alerts_total{stream=%q} %d\n", r.id, r.alerts)
 	}
+	hasMembers := false
+	for _, r := range rows {
+		if len(r.members) > 0 {
+			hasMembers = true
+			break
+		}
+	}
+	if !hasMembers {
+		return
+	}
+	memberRows := func(emit func(r row, m ensemble.MemberStat)) {
+		for _, r := range rows {
+			for _, m := range r.members {
+				emit(r, m)
+			}
+		}
+	}
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_ready_total Scored steps per ensemble member.")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_ready_total counter")
+	memberRows(func(r row, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_ready_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, m.Ready)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_fine_tunes_total Drift-triggered fine-tunes per ensemble member.")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_fine_tunes_total counter")
+	memberRows(func(r row, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_fine_tunes_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, m.FineTunes)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_agreement Rolling consensus-agreement counter per ensemble member.")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_agreement gauge")
+	memberRows(func(r row, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_agreement{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, m.Agreement)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_weight Normalized aggregation weight per ensemble member (0 when pruned).")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_weight gauge")
+	memberRows(func(r row, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_weight{stream=%q,member=\"%d\",spec=%q} %g\n", r.id, m.Index, m.Label, m.Weight)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_disabled Whether the pruning policy currently excludes the member (0/1).")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_disabled gauge")
+	memberRows(func(r row, m ensemble.MemberStat) {
+		v := 0
+		if m.Disabled {
+			v = 1
+		}
+		fmt.Fprintf(w, "streamad_ensemble_member_disabled{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, v)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -200,12 +261,40 @@ type ObserveResponse struct {
 	Step          int     `json:"step"`
 }
 
-// StatsResponse is GET /v1/streams/{id}.
+// MemberStatus is one ensemble member's row in StatsResponse.
+type MemberStatus struct {
+	Index     int     `json:"index"`
+	Spec      string  `json:"spec"`
+	Ready     int     `json:"ready_steps"`
+	FineTunes int     `json:"fine_tunes"`
+	Agreement int     `json:"agreement"`
+	Weight    float64 `json:"weight"`
+	Disabled  bool    `json:"disabled,omitempty"`
+	LastScore float64 `json:"last_score"`
+}
+
+// StatsResponse is GET /v1/streams/{id}. Members is present only for
+// ensemble-backed streams; Threshold is omitted while the alert policy
+// still reports a non-finite boundary (see finiteOrZero).
 type StatsResponse struct {
-	ID     string `json:"id"`
-	Steps  int    `json:"steps"`
-	Ready  int    `json:"ready_steps"`
-	Alerts int    `json:"alerts"`
+	ID        string         `json:"id"`
+	Steps     int            `json:"steps"`
+	Ready     int            `json:"ready_steps"`
+	Alerts    int            `json:"alerts"`
+	Threshold float64        `json:"threshold,omitempty"`
+	Members   []MemberStatus `json:"members,omitempty"`
+}
+
+// finiteOrZero zeroes non-finite values before JSON encoding:
+// encoding/json cannot represent NaN/±Inf and would otherwise abort the
+// whole response (the +Inf-threshold bug PR 1 fixed for observe
+// responses). Paired with omitempty, a non-finite value simply drops the
+// field.
+func finiteOrZero(f float64) float64 {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0
+	}
+	return f
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -298,12 +387,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		FineTuned:     res.FineTuned,
 		Step:          step,
 	}
-	// The quantile policy reports +Inf until it has enough scores, and
-	// encoding/json cannot represent non-finite values — leave the field
-	// empty until the threshold is real.
-	if th := st.th.Threshold(); !math.IsInf(th, 0) && !math.IsNaN(th) {
-		resp.Threshold = th
-	}
+	// The quantile policy reports +Inf until it has enough scores —
+	// leave the field empty until the threshold is real.
+	resp.Threshold = finiteOrZero(st.th.Threshold())
 	if st.th.Alert(res.Score) {
 		resp.Alert = true
 		st.alerts++
@@ -341,7 +427,26 @@ func (s *Server) handleStats(w http.ResponseWriter, id string) {
 		return
 	}
 	st.mu.Lock()
-	resp := StatsResponse{ID: id, Steps: st.steps, Ready: st.ready, Alerts: st.alerts}
+	resp := StatsResponse{
+		ID: id, Steps: st.steps, Ready: st.ready, Alerts: st.alerts,
+		Threshold: finiteOrZero(st.th.Threshold()),
+	}
+	if ms, ok := st.det.(MemberStatser); ok {
+		stats := ms.MemberStats()
+		resp.Members = make([]MemberStatus, len(stats))
+		for i, m := range stats {
+			resp.Members[i] = MemberStatus{
+				Index:     m.Index,
+				Spec:      m.Label,
+				Ready:     m.Ready,
+				FineTunes: m.FineTunes,
+				Agreement: m.Agreement,
+				Weight:    finiteOrZero(m.Weight),
+				Disabled:  m.Disabled,
+				LastScore: finiteOrZero(m.LastScore),
+			}
+		}
+	}
 	st.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }

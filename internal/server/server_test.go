@@ -5,11 +5,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
+	"streamad"
 	"streamad/internal/core"
+	"streamad/internal/ensemble"
 	"streamad/internal/score"
 )
 
@@ -254,6 +262,254 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !bytes.Contains([]byte(body), []byte(line)) {
 			t.Fatalf("metrics missing %q in:\n%s", line, body)
+		}
+	}
+}
+
+// parseSample splits one Prometheus exposition sample line into its
+// metric name and label map, unquoting label values with the inverse of
+// the %q encoding the server uses.
+func parseSample(line string) (name string, labels map[string]string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		return "", nil, fmt.Errorf("no label block in %q", line)
+	}
+	name = line[:brace]
+	labels = make(map[string]string)
+	rest := line[brace+1:]
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, fmt.Errorf("no key=value in %q", rest)
+		}
+		key := rest[:eq]
+		quoted, e := strconv.QuotedPrefix(rest[eq+1:])
+		if e != nil {
+			return "", nil, fmt.Errorf("bad quoting after %q in %q: %v", key, line, e)
+		}
+		val, e := strconv.Unquote(quoted)
+		if e != nil {
+			return "", nil, e
+		}
+		labels[key] = val
+		rest = rest[eq+1+len(quoted):]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "} ") {
+			return name, labels, nil
+		}
+		return "", nil, fmt.Errorf("malformed label block tail %q in %q", rest, line)
+	}
+}
+
+// TestMetricsExposition asserts the /metrics output is well-formed
+// Prometheus text: every sample's family is introduced by a HELP/TYPE
+// pair, stream labels come out sorted, and ids containing quotes and
+// newlines are escaped so they survive a parse round trip.
+func TestMetricsExposition(t *testing.T) {
+	ts := newTestServer(t)
+	ids := []string{"plain", `a"quote`, "b\nline"}
+	for _, id := range ids {
+		for i := 0; i < 3; i++ {
+			body, _ := json.Marshal(map[string]interface{}{"vector": []float64{0, 0}})
+			resp, err := http.Post(ts.URL+"/v1/streams/"+url.PathEscape(id)+"/observe", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("observe %q = %d", id, resp.StatusCode)
+			}
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helps := map[string]bool{}
+	types := map[string]bool{}
+	streamsPerFamily := map[string][]string{}
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		if h, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, text, _ := strings.Cut(h, " ")
+			if text == "" {
+				t.Errorf("HELP without text: %q", line)
+			}
+			helps[name] = true
+			continue
+		}
+		if ty, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(ty, " ")
+			if kind != "counter" && kind != "gauge" {
+				t.Errorf("TYPE with unknown kind: %q", line)
+			}
+			types[name] = true
+			continue
+		}
+		name, labels, err := parseSample(line)
+		if err != nil {
+			t.Fatalf("unparseable sample: %v", err)
+		}
+		if !helps[name] || !types[name] {
+			t.Errorf("sample %q precedes its HELP/TYPE pair", line)
+		}
+		stream, ok := labels["stream"]
+		if !ok {
+			t.Errorf("sample without stream label: %q", line)
+		}
+		streamsPerFamily[name] = append(streamsPerFamily[name], stream)
+	}
+	for fam, streams := range streamsPerFamily {
+		if !sort.StringsAreSorted(streams) {
+			t.Errorf("family %s streams not sorted: %q", fam, streams)
+		}
+		want := append([]string{}, ids...)
+		sort.Strings(want)
+		if fmt.Sprint(streams) != fmt.Sprint(want) {
+			t.Errorf("family %s streams = %q, want %q (quote/newline ids must round-trip)", fam, streams, want)
+		}
+	}
+	if len(streamsPerFamily) != 3 {
+		t.Fatalf("expected 3 sample families, got %v", streamsPerFamily)
+	}
+}
+
+// infThresholder always reports a non-finite boundary, like the quantile
+// policy before it has seen enough scores.
+type infThresholder struct{}
+
+func (infThresholder) Alert(float64) bool { return false }
+func (infThresholder) Threshold() float64 { return math.Inf(1) }
+func (infThresholder) Name() string       { return "inf" }
+
+// nanMemberDet is a Stepper whose member stats carry non-finite floats.
+type nanMemberDet struct{ stubDetector }
+
+func (d *nanMemberDet) MemberStats() []ensemble.MemberStat {
+	return []ensemble.MemberStat{
+		{Index: 0, Label: "stub+sw+regular+avg", Ready: d.steps, Weight: math.NaN(), LastScore: math.Inf(-1)},
+	}
+}
+
+// TestStatsGuardsNonFiniteValues is the regression test for the
+// stats-endpoint counterpart of the +Inf-threshold observe bug: a
+// non-finite threshold, member weight or member score must never abort
+// the JSON encoding of GET /v1/streams/{id}.
+func TestStatsGuardsNonFiniteValues(t *testing.T) {
+	srv, err := New(Config{
+		NewDetector:    func(string) (Stepper, error) { return &nanMemberDet{stubDetector{dim: 2}}, nil },
+		NewThresholder: func(string) score.Thresholder { return infThresholder{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]interface{}{"vector": []float64{0, 0}})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/streams/s/observe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe = %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/streams/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) == 0 {
+		t.Fatal("empty stats body: non-finite value killed the encoder")
+	}
+	if strings.Contains(string(raw), "Inf") || strings.Contains(string(raw), "NaN") {
+		t.Fatalf("non-finite value leaked into JSON: %s", raw)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats not valid JSON: %v (%s)", err, raw)
+	}
+	if stats.Threshold != 0 {
+		t.Fatalf("non-finite threshold not dropped: %+v", stats)
+	}
+	if len(stats.Members) != 1 || stats.Members[0].Weight != 0 || stats.Members[0].LastScore != 0 {
+		t.Fatalf("non-finite member floats not zeroed: %+v", stats.Members)
+	}
+}
+
+// TestEnsembleThroughServer runs a real 3-member ensemble behind the
+// HTTP API: aggregated scores come back per vector, the stats endpoint
+// grows per-member rows, and /metrics exposes the member families.
+func TestEnsembleThroughServer(t *testing.T) {
+	const spec = "ensemble(knn+sw+regular+avg, arima+sw+regular+avg, knn+ures+regular+avg; agg=perf, prune=-8)"
+	srv, err := New(Config{
+		NewDetector: func(string) (Stepper, error) {
+			return streamad.NewFromSpec(spec, streamad.Config{
+				Channels: 3, Window: 8, TrainSize: 20, WarmupVectors: 25, Seed: 3,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := 0
+	for _, v := range testVectors(80) {
+		if observeDirect(t, srv, "s", v).Ready {
+			ready++
+		}
+	}
+	if ready == 0 {
+		t.Fatal("ensemble never scored through the server")
+	}
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/streams/s", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Members) != 3 {
+		t.Fatalf("stats carry %d member rows, want 3: %+v", len(stats.Members), stats)
+	}
+	var weightSum float64
+	for i, m := range stats.Members {
+		if m.Index != i || m.Spec == "" || m.Ready == 0 {
+			t.Fatalf("member row %d looks dead: %+v", i, m)
+		}
+		weightSum += m.Weight
+	}
+	if math.Abs(weightSum-1) > 1e-9 {
+		t.Fatalf("member weights sum to %v, want 1", weightSum)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	text := rec.Body.String()
+	for _, family := range []string{
+		"streamad_ensemble_member_ready_total",
+		"streamad_ensemble_member_fine_tunes_total",
+		"streamad_ensemble_member_agreement",
+		"streamad_ensemble_member_weight",
+		"streamad_ensemble_member_disabled",
+	} {
+		if !strings.Contains(text, "# HELP "+family+" ") ||
+			!strings.Contains(text, "# TYPE "+family+" ") ||
+			!strings.Contains(text, family+`{stream="s",member="0",spec="knn+sw+regular+avg"}`) {
+			t.Fatalf("metrics missing member family %s:\n%s", family, text)
 		}
 	}
 }

@@ -2,6 +2,8 @@ package streamad
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -76,4 +78,221 @@ func ParseScoreKind(s string) (ScoreKind, error) {
 	default:
 		return 0, fmt.Errorf("streamad: unknown score kind %q", s)
 	}
+}
+
+// ParseAggKind converts an ensemble-combiner name into an AggKind.
+// Recognized names: mean, avg, max, median, trimmed, trimmed-mean, perf,
+// perf-weighted, weighted.
+func ParseAggKind(s string) (AggKind, error) {
+	switch strings.ToLower(s) {
+	case "mean", "avg", "average":
+		return AggMean, nil
+	case "max":
+		return AggMax, nil
+	case "median":
+		return AggMedian, nil
+	case "trimmed", "trimmed-mean", "trim":
+		return AggTrimmedMean, nil
+	case "perf", "perf-weighted", "weighted", "performance":
+		return AggPerfWeighted, nil
+	default:
+		return 0, fmt.Errorf("streamad: unknown combiner %q", s)
+	}
+}
+
+// The canonical short names the spec grammar prints (its parsers accept
+// the same aliases as the individual Parse* functions).
+
+func specModelName(m ModelKind) string {
+	switch m {
+	case ModelARIMA:
+		return "arima"
+	case ModelARIMAONS:
+		return "arima-ons"
+	case ModelPCBIForest:
+		return "pcb"
+	case ModelAE:
+		return "ae"
+	case ModelUSAD:
+		return "usad"
+	case ModelNBEATS:
+		return "nbeats"
+	case ModelVAR:
+		return "var"
+	case ModelKNN:
+		return "knn"
+	default:
+		return fmt.Sprintf("model-%d", int(m))
+	}
+}
+
+func specTask1Name(t Task1) string {
+	switch t {
+	case TaskSlidingWindow:
+		return "sw"
+	case TaskUniformReservoir:
+		return "ures"
+	case TaskAnomalyReservoir:
+		return "ares"
+	default:
+		return fmt.Sprintf("task1-%d", int(t))
+	}
+}
+
+func specTask2Name(t Task2) string {
+	switch t {
+	case TaskMuSigma:
+		return "musigma"
+	case TaskKSWIN:
+		return "kswin"
+	case TaskRegular:
+		return "regular"
+	case TaskADWIN:
+		return "adwin"
+	default:
+		return fmt.Sprintf("task2-%d", int(t))
+	}
+}
+
+func specScoreName(s ScoreKind) string {
+	switch s {
+	case ScoreAverage:
+		return "avg"
+	case ScoreLikelihood:
+		return "al"
+	case ScoreRaw:
+		return "raw"
+	default:
+		return fmt.Sprintf("score-%d", int(s))
+	}
+}
+
+// ParsePipelineSpec parses a compact pipeline spec of the form
+// "model+task1+task2[+score]" — e.g. "arima+sw+kswin" or
+// "usad+ares+regular+avg". Each part accepts the same names as the
+// corresponding Parse* function. When the score part is omitted it
+// defaults to the anomaly likelihood, the paper's strongest scoring
+// function.
+func ParsePipelineSpec(s string) (PipelineSpec, error) {
+	parts := strings.Split(strings.TrimSpace(s), "+")
+	if len(parts) < 3 || len(parts) > 4 {
+		return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: want model+task1+task2[+score]", s)
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	spec := PipelineSpec{Score: ScoreLikelihood}
+	var err error
+	if spec.Model, err = ParseModelKind(parts[0]); err != nil {
+		return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: %w", s, err)
+	}
+	if spec.Task1, err = ParseTask1(parts[1]); err != nil {
+		return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: %w", s, err)
+	}
+	if spec.Task2, err = ParseTask2(parts[2]); err != nil {
+		return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: %w", s, err)
+	}
+	if len(parts) == 4 {
+		if spec.Score, err = ParseScoreKind(parts[3]); err != nil {
+			return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: %w", s, err)
+		}
+	}
+	return spec, nil
+}
+
+// IsEnsembleSpec reports whether s uses the ensemble(...) grammar rather
+// than naming a single pipeline.
+func IsEnsembleSpec(s string) bool {
+	return strings.HasPrefix(strings.ToLower(strings.TrimSpace(s)), "ensemble(")
+}
+
+// ParseEnsembleSpec parses the ensemble spec grammar:
+//
+//	ensemble(member, member, ...; option, option, ...)
+//
+// where each member is a pipeline spec ("model+task1+task2[+score]", see
+// ParsePipelineSpec) and the optional options after the semicolon are
+// key=value pairs:
+//
+//	agg=mean|max|median|trimmed|perf   score combiner (default mean)
+//	verdict=0.5                        binary-verdict boundary for the
+//	                                   agreement counters
+//	cap=64                             rolling agreement-counter cap
+//	prune=-16                          enable pruning: disable a member
+//	                                   whose counter reaches this value
+//
+// For example:
+//
+//	ensemble(arima+sw+kswin, usad+ares+regular; agg=median)
+//	ensemble(usad+sw+musigma, pcb+ares+kswin, nbeats+ures+kswin; agg=perf, prune=-16)
+func ParseEnsembleSpec(s string) (EnsembleSpec, error) {
+	trimmed := strings.TrimSpace(s)
+	fail := func(format string, args ...interface{}) (EnsembleSpec, error) {
+		return EnsembleSpec{}, fmt.Errorf("streamad: ensemble spec %q: %s", s, fmt.Sprintf(format, args...))
+	}
+	if !IsEnsembleSpec(trimmed) || !strings.HasSuffix(trimmed, ")") {
+		return fail("want ensemble(member, ...; options)")
+	}
+	body := trimmed[len("ensemble(") : len(trimmed)-1]
+	memberPart, optionPart, hasOptions := strings.Cut(body, ";")
+
+	var spec EnsembleSpec
+	for _, ms := range strings.Split(memberPart, ",") {
+		if strings.TrimSpace(ms) == "" {
+			return fail("empty member spec")
+		}
+		ps, err := ParsePipelineSpec(ms)
+		if err != nil {
+			return EnsembleSpec{}, err
+		}
+		spec.Members = append(spec.Members, ps)
+	}
+	if len(spec.Members) < 2 {
+		return fail("need at least 2 members, got %d", len(spec.Members))
+	}
+	if !hasOptions {
+		return spec, nil
+	}
+	for _, opt := range strings.Split(optionPart, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return fail("option %q is not key=value", opt)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "agg":
+			agg, err := ParseAggKind(val)
+			if err != nil {
+				return EnsembleSpec{}, err
+			}
+			spec.Agg = agg
+		case "verdict":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fail("bad verdict %q", val)
+			}
+			spec.Verdict = v
+		case "cap":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return fail("bad counter cap %q", val)
+			}
+			spec.CounterCap = n
+		case "prune":
+			n, err := strconv.Atoi(val)
+			if err != nil || n >= 0 {
+				return fail("bad prune threshold %q (must be a negative integer)", val)
+			}
+			spec.PruneEnabled = true
+			spec.PruneBelow = n
+		default:
+			return fail("unknown option %q", key)
+		}
+	}
+	return spec, nil
 }

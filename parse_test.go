@@ -72,3 +72,104 @@ func TestParseScoreKind(t *testing.T) {
 		t.Error("unknown score must error")
 	}
 }
+
+func TestParseAggKind(t *testing.T) {
+	cases := map[string]AggKind{
+		"mean": AggMean, "avg": AggMean, "MAX": AggMax, "median": AggMedian,
+		"trimmed": AggTrimmedMean, "trimmed-mean": AggTrimmedMean,
+		"perf": AggPerfWeighted, "weighted": AggPerfWeighted,
+	}
+	for in, want := range cases {
+		got, err := ParseAggKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAggKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseAggKind("mode"); err == nil {
+		t.Error("unknown combiner must error")
+	}
+}
+
+func TestParsePipelineSpec(t *testing.T) {
+	got, err := ParsePipelineSpec("arima+sw+kswin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PipelineSpec{Model: ModelARIMA, Task1: TaskSlidingWindow, Task2: TaskKSWIN, Score: ScoreLikelihood}
+	if got != want {
+		t.Fatalf("ParsePipelineSpec = %+v, want %+v (omitted score must default to AL)", got, want)
+	}
+	got, err = ParsePipelineSpec(" USAD + ares + regular + avg ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = PipelineSpec{Model: ModelUSAD, Task1: TaskAnomalyReservoir, Task2: TaskRegular, Score: ScoreAverage}
+	if got != want {
+		t.Fatalf("ParsePipelineSpec = %+v, want %+v", got, want)
+	}
+	// Round trip through String.
+	back, err := ParsePipelineSpec(want.String())
+	if err != nil || back != want {
+		t.Fatalf("round trip %q → %+v, %v", want.String(), back, err)
+	}
+	for _, bad := range []string{"", "usad", "usad+sw", "usad+sw+musigma+al+extra", "bogus+sw+kswin", "usad+bogus+kswin", "usad+sw+bogus", "usad+sw+kswin+bogus"} {
+		if _, err := ParsePipelineSpec(bad); err == nil {
+			t.Errorf("ParsePipelineSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseEnsembleSpec(t *testing.T) {
+	got, err := ParseEnsembleSpec("ensemble(arima+sw+kswin, usad+ares+regular; agg=median)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Members) != 2 || got.Agg != AggMedian || got.PruneEnabled {
+		t.Fatalf("unexpected spec %+v", got)
+	}
+	if got.Members[0].Model != ModelARIMA || got.Members[1].Model != ModelUSAD {
+		t.Fatalf("member models wrong: %+v", got.Members)
+	}
+
+	got, err = ParseEnsembleSpec("ENSEMBLE( knn+sw+regular+avg , pcb+ares+kswin , nbeats+ures+kswin ; agg=perf, verdict=0.7, cap=32, prune=-8 )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Members) != 3 || got.Agg != AggPerfWeighted || got.Verdict != 0.7 ||
+		got.CounterCap != 32 || !got.PruneEnabled || got.PruneBelow != -8 {
+		t.Fatalf("unexpected spec %+v", got)
+	}
+
+	// Options are optional.
+	got, err = ParseEnsembleSpec("ensemble(arima+sw+kswin, usad+ares+regular)")
+	if err != nil || got.Agg != AggMean {
+		t.Fatalf("optionless spec: %+v, %v", got, err)
+	}
+
+	// Round trip through String.
+	back, err := ParseEnsembleSpec(got.String())
+	if err != nil || len(back.Members) != 2 || back.Agg != got.Agg {
+		t.Fatalf("round trip %q → %+v, %v", got.String(), back, err)
+	}
+
+	for _, bad := range []string{
+		"ensemble()",
+		"ensemble(arima+sw+kswin)",                               // one member
+		"ensemble(arima+sw+kswin, )",                             // empty member
+		"ensemble(arima+sw+kswin, usad+ares+regular",             // unclosed
+		"ensemble(arima+sw+kswin, usad+ares+regular; agg=mode)",  // bad combiner
+		"ensemble(arima+sw+kswin, usad+ares+regular; prune=3)",   // non-negative prune
+		"ensemble(arima+sw+kswin, usad+ares+regular; cap=0)",     // bad cap
+		"ensemble(arima+sw+kswin, usad+ares+regular; verdict=x)", // bad verdict
+		"ensemble(arima+sw+kswin, usad+ares+regular; agg)",       // not key=value
+		"ensemble(arima+sw+kswin, usad+ares+regular; foo=1)",     // unknown option
+	} {
+		if _, err := ParseEnsembleSpec(bad); err == nil {
+			t.Errorf("ParseEnsembleSpec(%q) accepted", bad)
+		}
+	}
+
+	if !IsEnsembleSpec("  Ensemble(a, b)") || IsEnsembleSpec("usad+sw+musigma") {
+		t.Error("IsEnsembleSpec misclassifies")
+	}
+}
