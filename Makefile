@@ -2,8 +2,9 @@ GO ?= go
 
 .PHONY: ci build vet test race bench
 
-# ci is the gate: everything a change must pass before merging.
-ci: vet build race
+# ci is the fast gate; the race detector runs as its own CI job (make
+# race) so the concurrency suites don't slow the edit loop.
+ci: vet build test
 
 build:
 	$(GO) build ./...

@@ -6,6 +6,14 @@
 //	curl -XPOST localhost:8080/v1/streams/device-7/observe \
 //	     -d '{"vector": [0.1, 0.3, ...]}'
 //
+// Fleet producers push NDJSON batches spanning many streams through the
+// sharded ingestion layer (-shards, -queue-depth, -overload pick its
+// shape; see internal/ingest):
+//
+//	curl -XPOST localhost:8080/v1/observe --data-binary $'
+//	{"stream": "device-7", "vector": [0.1, 0.3]}
+//	{"stream": "device-9", "vector": [0.2, 0.0]}'
+//
 // With -state-dir the daemon is crash-recoverable: vectors are written to
 // a per-stream WAL before scoring, detectors are checkpointed in the
 // background, and a restart with the same flags and state dir resumes
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"streamad"
+	"streamad/internal/ingest"
 	"streamad/internal/persist"
 	"streamad/internal/score"
 	"streamad/internal/server"
@@ -48,8 +57,17 @@ func main() {
 		stateDir     = flag.String("state-dir", "", "directory for snapshots and WALs (empty = no persistence)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "background checkpoint period (requires -state-dir)")
 		snapEntries  = flag.Int("snapshot-entries", 256, "checkpoint a stream once this many vectors sit in its WAL (0 = timer only)")
+
+		shards     = flag.Int("shards", 8, "stream registry shards")
+		queueDepth = flag.Int("queue-depth", 64, "bounded per-stream ingestion queue depth")
+		overload   = flag.String("overload", "block", "full-queue policy: block (backpressure) | shed (429 + Retry-After) | drop-oldest")
+		streamTTL  = flag.Duration("stream-ttl", 0, "checkpoint and unload streams idle this long (0 = keep forever)")
 	)
 	flag.Parse()
+	policy, err := ingest.ParsePolicy(*overload)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *channels <= 0 {
 		log.Fatal("streamadd: -channels is required")
 	}
@@ -101,7 +119,6 @@ func main() {
 	}
 
 	var store *persist.Store
-	var err error
 	if *stateDir != "" {
 		store, err = persist.Open(*stateDir)
 		if err != nil {
@@ -115,6 +132,10 @@ func main() {
 		NewThresholder: func(string) score.Thresholder {
 			return score.NewQuantileThresholder(*quantile)
 		},
+		Shards:           *shards,
+		QueueDepth:       *queueDepth,
+		Overload:         policy,
+		StreamTTL:        *streamTTL,
 		Store:            store,
 		SnapshotInterval: *snapInterval,
 		SnapshotEvery:    *snapEntries,
@@ -150,7 +171,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
-	log.Printf("streamadd listening on %s (%s N=%d)", *addr, pipeline, *channels)
+	log.Printf("streamadd listening on %s (%s N=%d, %d shards, queue %d, overload=%s)",
+		*addr, pipeline, *channels, *shards, *queueDepth, policy)
 
 	select {
 	case <-ctx.Done():

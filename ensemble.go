@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"streamad/internal/ensemble"
+	"streamad/internal/ingest"
 )
 
 // AggKind selects the ensemble's score combiner.
@@ -27,8 +28,10 @@ type MemberStat = ensemble.MemberStat
 
 // StreamDetector is the behavioral contract shared by single-pipeline
 // detectors (*Detector) and ensembles (*Ensemble): streaming scoring plus
-// full-state checkpointing. The HTTP server and the CLIs program against
-// it, so an ensemble drops in anywhere one pipeline did.
+// full-state checkpointing. The serving stack — the sharded ingestion
+// registry (internal/ingest) and the HTTP server on top of it — and the
+// CLIs program against it, so an ensemble drops in anywhere one pipeline
+// did.
 type StreamDetector interface {
 	// Step consumes the next stream vector; ok is false during window
 	// fill and warmup.
@@ -47,6 +50,12 @@ type StreamDetector interface {
 var (
 	_ StreamDetector = (*Detector)(nil)
 	_ StreamDetector = (*Ensemble)(nil)
+
+	// Every StreamDetector is admissible to the ingestion layer: it can
+	// be stepped by the batching dispatcher and checkpointed by the
+	// snapshotter/evictor. Breaking either facet breaks the daemon.
+	_ ingest.Stepper      = (StreamDetector)(nil)
+	_ ingest.Checkpointer = (StreamDetector)(nil)
 )
 
 // PipelineSpec names one detector pipeline: the (model × Task 1 × Task 2

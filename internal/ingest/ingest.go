@@ -1,0 +1,664 @@
+// Package ingest is the sharded ingestion layer between the HTTP
+// transport and the detectors: the fleet-scale front end the monitor's
+// "thousands of independent device streams" story needs. The stream
+// registry is split into N shards (FNV-1a hash of the stream id, one
+// mutex per shard), so stream lookup and creation never serialize the
+// whole fleet behind one lock the way the first server did.
+//
+// Every stream owns a bounded queue of pending vectors. Admission
+// assigns a per-stream sequence number and obeys the configured
+// overload policy:
+//
+//   - Block (default): the producer waits for queue space — the
+//     backpressure behaviour of the original synchronous endpoint.
+//   - Shed: a full queue rejects the vector with ErrOverload; the HTTP
+//     layer turns that into 429 + Retry-After.
+//   - DropOldest: the oldest queued vector is discarded (its waiter gets
+//     a Dropped result) and the new one is admitted.
+//
+// A micro-batching dispatcher drains each queue: whoever admits a vector
+// into an idle stream becomes (or spawns) that stream's dispatcher,
+// which repeatedly grabs the entire queue and scores it in one locked
+// detector pass — one lock acquisition and one cache-warm detector
+// session for however many vectors accumulated, instead of one per
+// vector. Per-stream order is total: sequence numbers are assigned under
+// the queue lock and processed in assignment order, so scores are
+// bit-identical to the serial path.
+//
+// The registry also owns what the server used to do per stream behind a
+// global mutex: WAL-before-score durability, background snapshots,
+// restore-on-startup (and lazy restore after eviction), and optional
+// TTL eviction of idle streams.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamad/internal/core"
+	"streamad/internal/ensemble"
+	"streamad/internal/persist"
+	"streamad/internal/score"
+)
+
+// Stepper is the per-stream detector contract (streamad.StreamDetector
+// satisfies it).
+type Stepper interface {
+	Step(s []float64) (core.Result, bool)
+}
+
+// Checkpointer is the contract a detector must add to Stepper for the
+// registry to persist it (streamad.Detector and streamad.Ensemble
+// satisfy it).
+type Checkpointer interface {
+	Save() ([]byte, error)
+	Load([]byte) error
+}
+
+// MemberStatser is the optional Stepper extension implemented by
+// ensemble-backed detectors: per-member counters, agreement and weights,
+// surfaced in stream stats and /metrics.
+type MemberStatser interface {
+	MemberStats() []ensemble.MemberStat
+}
+
+// ErrOverload is returned by admission under the Shed policy when the
+// stream's queue is full. Producers should back off for the configured
+// RetryAfter hint and retry.
+var ErrOverload = errors.New("ingest: stream queue full")
+
+// ErrUnknownStream is returned by lookups for ids the registry has never
+// seen (or has evicted without persisted state).
+var ErrUnknownStream = errors.New("ingest: unknown stream")
+
+// errEvicted makes an admission that raced the TTL evictor retry against
+// a freshly created (or restored) stream.
+var errEvicted = errors.New("ingest: stream evicted")
+
+// Config assembles a Registry.
+type Config struct {
+	// NewDetector builds a detector for a new stream id (required).
+	NewDetector func(stream string) (Stepper, error)
+	// NewThresholder builds the per-stream alert policy (default: a
+	// streaming 0.99-quantile).
+	NewThresholder func(stream string) score.Thresholder
+	// Shards is the number of registry shards (default 8).
+	Shards int
+	// QueueDepth bounds each stream's pending-vector queue (default 64).
+	QueueDepth int
+	// Overload picks what admission does when a queue is full
+	// (default Block).
+	Overload Policy
+	// RetryAfter is the back-off hint attached to shed vectors
+	// (default 1s).
+	RetryAfter time.Duration
+	// MaxStreams bounds the number of live streams across all shards
+	// (default 1024).
+	MaxStreams int
+	// StreamTTL, when positive, evicts streams with no observes for the
+	// TTL: the stream is checkpointed (when a Store is configured) and
+	// unloaded, freeing its MaxStreams slot. A later observe transparently
+	// restores it from the checkpoint. Without a Store the eviction
+	// discards the detector state.
+	StreamTTL time.Duration
+	// EvictInterval is the idle-scan period (default StreamTTL/4,
+	// clamped to [10ms, 30s]).
+	EvictInterval time.Duration
+	// Store, when set, makes the registry durable: every admitted vector
+	// is appended to the stream's WAL before it is scored, snapshots are
+	// taken in the background, and RestoreStreams rebuilds state on
+	// startup.
+	Store *persist.Store
+	// SnapshotInterval is how often the background snapshotter
+	// checkpoints streams with WAL entries outstanding (0 disables timed
+	// snapshots).
+	SnapshotInterval time.Duration
+	// SnapshotEvery checkpoints a stream once this many vectors
+	// accumulate in its WAL, independent of the timer (0 disables the
+	// entry trigger).
+	SnapshotEvery int
+	// Logf receives persistence and eviction diagnostics
+	// (default: discard).
+	Logf func(format string, args ...interface{})
+}
+
+// Registry is the sharded stream registry.
+type Registry struct {
+	cfg     Config
+	shards  []*shard
+	nlive   atomic.Int64 // live streams, bounded by MaxStreams
+	met     ingestMetrics
+	history atomic.Int64 // streams ever created (diagnostics)
+
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+	snapKick  chan string
+	evictStop chan struct{}
+	evictDone chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// shard is one slice of the registry: a mutex plus the streams hashing
+// to it. The shard lock guards only membership (lookup, create, evict);
+// scoring never holds it.
+type shard struct {
+	mu      sync.Mutex
+	streams map[string]*stream
+}
+
+// stream is one stream's queue plus detector state. Two locks split the
+// fast paths: qmu guards admission (queue, seq, busy flag) and procMu
+// serializes detector passes with snapshots and stats reads. A
+// dispatcher holds procMu once per drained batch, not once per vector.
+type stream struct {
+	id string
+
+	qmu     sync.Mutex
+	notFull sync.Cond // signalled when the dispatcher drains the queue
+	queue   []item
+	busy    bool   // a dispatcher is draining this stream
+	closed  bool   // evicted; admissions must retry against a new stream
+	seq     uint64 // next sequence number to assign
+
+	procMu   sync.Mutex
+	det      Stepper
+	th       score.Thresholder
+	seqDone  uint64 // all records with seq < seqDone are scored (or skipped)
+	walSince int    // WAL appends since the last snapshot
+
+	// The observable counters are atomics written under procMu but read
+	// lock-free, so GET /v1/streams and /metrics never stall behind an
+	// in-flight detector pass (which can run for milliseconds on large
+	// ensembles).
+	steps  atomic.Int64 // vectors consumed by the detector pass
+	ready  atomic.Int64 // scored (post-warmup) steps
+	alerts atomic.Int64
+	thBits atomic.Uint64 // math.Float64bits of the last-seen threshold
+
+	lastTouch atomic.Int64 // unix nanos of the last admission
+}
+
+// item is one queued vector and the promise its producer waits on.
+type item struct {
+	seq  uint64
+	vec  []float64
+	done chan Result
+}
+
+// Result is the outcome of one admitted vector. Exactly one of the
+// normal fields (Ready/score set), Dropped, BadShape or Err describes
+// what happened; Seq is always the vector's per-stream sequence number.
+type Result struct {
+	Seq           uint64
+	Ready         bool
+	Score         float64
+	Nonconformity float64
+	Threshold     float64
+	Alert         bool
+	FineTuned     bool
+	// Dropped marks a vector discarded by the DropOldest policy before
+	// it reached the detector.
+	Dropped bool
+	// BadShape marks a vector the detector rejected (dimension mismatch).
+	BadShape bool
+	// Err is a persistence failure; the vector was not consumed.
+	Err error
+}
+
+// Ack is the admission receipt for one enqueued vector: its assigned
+// sequence number and the channel its Result will arrive on.
+type Ack struct {
+	Seq  uint64
+	Done <-chan Result
+}
+
+// New validates the configuration and returns a running Registry.
+func New(cfg Config) (*Registry, error) {
+	if cfg.NewDetector == nil {
+		return nil, fmt.Errorf("ingest: NewDetector is required")
+	}
+	if cfg.NewThresholder == nil {
+		cfg.NewThresholder = func(string) score.Thresholder {
+			return score.NewQuantileThresholder(0.99)
+		}
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = 1024
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	r := &Registry{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range r.shards {
+		r.shards[i] = &shard{streams: make(map[string]*stream)}
+	}
+	if cfg.Store != nil {
+		r.snapStop = make(chan struct{})
+		r.snapDone = make(chan struct{})
+		r.snapKick = make(chan string, 64)
+		go r.snapshotter()
+	}
+	if cfg.StreamTTL > 0 {
+		iv := cfg.EvictInterval
+		if iv <= 0 {
+			iv = cfg.StreamTTL / 4
+		}
+		if iv < 10*time.Millisecond {
+			iv = 10 * time.Millisecond
+		}
+		if iv > 30*time.Second {
+			iv = 30 * time.Second
+		}
+		r.evictStop = make(chan struct{})
+		r.evictDone = make(chan struct{})
+		go r.evictor(iv)
+	}
+	return r, nil
+}
+
+// RetryAfter is the back-off hint producers should honour after a shed.
+func (r *Registry) RetryAfter() time.Duration { return r.cfg.RetryAfter }
+
+// shardFor hashes a stream id to its shard (FNV-1a).
+func (r *Registry) shardFor(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return r.shards[h%uint32(len(r.shards))]
+}
+
+// shardIndex is shardFor's index twin, for stats labelling.
+func (r *Registry) shardIndex(id string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(r.shards)))
+}
+
+// getOrCreate returns the live stream for id, creating (or restoring
+// from the store, if it holds state for the id) on first use. The shard
+// lock is held across detector construction, so concurrent first
+// observes of the same id build exactly one detector; streams on other
+// shards are unaffected.
+func (r *Registry) getOrCreate(id string) (*stream, error) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st, ok := sh.streams[id]; ok {
+		return st, nil
+	}
+	if int(r.nlive.Load()) >= r.cfg.MaxStreams {
+		return nil, fmt.Errorf("ingest: stream limit %d reached", r.cfg.MaxStreams)
+	}
+	st, _, err := r.buildStream(id)
+	if err != nil {
+		return nil, err
+	}
+	sh.streams[id] = st
+	r.nlive.Add(1)
+	r.history.Add(1)
+	return st, nil
+}
+
+// newStream wires a bare stream (no detector state yet).
+func newStream(id string, det Stepper, th score.Thresholder) *stream {
+	st := &stream{id: id, det: det, th: th}
+	st.notFull.L = &st.qmu
+	st.thBits.Store(math.Float64bits(th.Threshold()))
+	return st
+}
+
+// Observe admits one vector and waits for its score: the synchronous
+// single-vector path. If the stream was idle the calling goroutine
+// doubles as the dispatcher (the combining-lock pattern), so a lone
+// producer pays no handoff; under contention its pass also drains
+// whatever concurrent producers queued behind it.
+func (r *Registry) Observe(id string, vec []float64) (Result, error) {
+	st, it, start, err := r.admit(id, vec)
+	if err != nil {
+		return Result{}, err
+	}
+	if start {
+		r.dispatch(st)
+	}
+	return <-it.done, nil
+}
+
+// Enqueue admits one vector asynchronously and returns its Ack; the
+// batch endpoint uses it to queue a whole NDJSON batch before waiting,
+// which is what lets the dispatcher coalesce same-stream records into
+// one detector pass.
+func (r *Registry) Enqueue(id string, vec []float64) (Ack, error) {
+	st, it, start, err := r.admit(id, vec)
+	if err != nil {
+		return Ack{}, err
+	}
+	if start {
+		go r.dispatch(st)
+	}
+	return Ack{Seq: it.seq, Done: it.done}, nil
+}
+
+// admit resolves the stream and enqueues under the overload policy,
+// retrying when it races the TTL evictor.
+func (r *Registry) admit(id string, vec []float64) (*stream, item, bool, error) {
+	for {
+		st, err := r.getOrCreate(id)
+		if err != nil {
+			return nil, item{}, false, err
+		}
+		st.lastTouch.Store(time.Now().UnixNano())
+		it, start, err := r.enqueue(st, vec)
+		if errors.Is(err, errEvicted) {
+			continue
+		}
+		if err != nil {
+			return nil, item{}, false, err
+		}
+		return st, it, start, nil
+	}
+}
+
+// enqueue admits one vector into the stream's bounded queue. The boolean
+// reports whether the caller must run a dispatcher for the stream.
+func (r *Registry) enqueue(st *stream, vec []float64) (item, bool, error) {
+	st.qmu.Lock()
+	for {
+		if st.closed {
+			st.qmu.Unlock()
+			return item{}, false, errEvicted
+		}
+		if len(st.queue) < r.cfg.QueueDepth {
+			break
+		}
+		switch r.cfg.Overload {
+		case Shed:
+			st.qmu.Unlock()
+			r.met.shed.Add(1)
+			return item{}, false, ErrOverload
+		case DropOldest:
+			old := st.queue[0]
+			copy(st.queue, st.queue[1:])
+			st.queue = st.queue[:len(st.queue)-1]
+			old.done <- Result{Seq: old.seq, Dropped: true}
+			r.met.dropped.Add(1)
+		default: // Block: wait for the dispatcher to drain the queue
+			st.notFull.Wait()
+		}
+	}
+	it := item{seq: st.seq, vec: vec, done: make(chan Result, 1)}
+	st.seq++
+	st.queue = append(st.queue, it)
+	start := !st.busy
+	if start {
+		st.busy = true
+	}
+	st.qmu.Unlock()
+	return it, start, nil
+}
+
+// dispatch drains the stream: it repeatedly swaps the whole queue out
+// and scores it in one procMu-locked pass, exiting only when the queue
+// is empty. Exactly one dispatcher runs per stream (the busy flag), so
+// items are processed in sequence-number order.
+func (r *Registry) dispatch(st *stream) {
+	for {
+		st.qmu.Lock()
+		batch := st.queue
+		st.queue = nil
+		if len(batch) == 0 {
+			st.busy = false
+			st.qmu.Unlock()
+			return
+		}
+		st.notFull.Broadcast()
+		st.qmu.Unlock()
+		r.met.observeBatch(len(batch))
+		st.procMu.Lock()
+		for _, it := range batch {
+			it.done <- r.processLocked(st, it)
+		}
+		st.procMu.Unlock()
+	}
+}
+
+// processLocked logs and scores one vector; the caller holds st.procMu.
+func (r *Registry) processLocked(st *stream, it item) Result {
+	if r.cfg.Store != nil {
+		// Log before scoring: a vector the WAL cannot hold is not
+		// consumed, so the on-disk state never lags what the detector has
+		// seen.
+		if err := r.cfg.Store.Append(st.id, it.seq, it.vec); err != nil {
+			return Result{Seq: it.seq, Err: fmt.Errorf("persist: %w", err)}
+		}
+		st.walSince++
+		if r.cfg.SnapshotEvery > 0 && st.walSince >= r.cfg.SnapshotEvery {
+			select {
+			case r.snapKick <- st.id:
+			default: // snapshotter busy; the next trigger catches it
+			}
+		}
+	}
+	st.steps.Add(1)
+	st.seqDone = it.seq + 1
+	res, out := safeStep(st.det, it.vec)
+	if !out.ok {
+		if out.panicked {
+			return Result{Seq: it.seq, BadShape: true}
+		}
+		return Result{Seq: it.seq} // warming up
+	}
+	st.ready.Add(1)
+	rs := Result{
+		Seq:           it.seq,
+		Ready:         true,
+		Score:         res.Score,
+		Nonconformity: res.Nonconformity,
+		FineTuned:     res.FineTuned,
+	}
+	// Read the boundary before Alert consumes the score, as the serial
+	// path always has: the quantile policy reports +Inf until warm.
+	rs.Threshold = st.th.Threshold()
+	if st.th.Alert(res.Score) {
+		rs.Alert = true
+		st.alerts.Add(1)
+	}
+	st.thBits.Store(math.Float64bits(st.th.Threshold()))
+	return rs
+}
+
+// stepOutcome distinguishes "warming up" from "panicked on bad input".
+type stepOutcome struct {
+	ok       bool
+	panicked bool
+}
+
+// safeStep runs the detector step, converting dimension-mismatch panics
+// (the detectors' contract for programmer error) into client errors.
+func safeStep(det Stepper, v []float64) (res core.Result, out stepOutcome) {
+	defer func() {
+		if recover() != nil {
+			out = stepOutcome{ok: false, panicked: true}
+		}
+	}()
+	r, ready := det.Step(v)
+	if !ready {
+		return core.Result{}, stepOutcome{}
+	}
+	return r, stepOutcome{ok: true}
+}
+
+// evictor is the idle-stream scan loop.
+func (r *Registry) evictor(interval time.Duration) {
+	defer close(r.evictDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.evictStop:
+			return
+		case <-t.C:
+			r.EvictIdle(time.Now())
+		}
+	}
+}
+
+// EvictIdle checkpoints and unloads every stream whose last observe is
+// older than StreamTTL as of now, and returns how many it evicted.
+// Streams with queued or in-flight work are skipped. The checkpoint is
+// written while the shard lock is held, so a concurrent observe of the
+// same id cannot recreate the stream until its state is safely on disk;
+// the recreation then restores from exactly that checkpoint.
+func (r *Registry) EvictIdle(now time.Time) int {
+	if r.cfg.StreamTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-r.cfg.StreamTTL).UnixNano()
+	evicted := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for id, st := range sh.streams {
+			if st.lastTouch.Load() > cutoff {
+				continue
+			}
+			st.qmu.Lock()
+			idle := len(st.queue) == 0 && !st.busy
+			if idle {
+				st.closed = true
+				st.notFull.Broadcast()
+			}
+			st.qmu.Unlock()
+			if !idle {
+				continue
+			}
+			if r.cfg.Store != nil {
+				if err := r.finalCheckpoint(id, st); err != nil {
+					r.cfg.Logf("streamad: evict %q: checkpoint failed, stream kept: %v", id, err)
+					st.qmu.Lock()
+					st.closed = false
+					st.qmu.Unlock()
+					continue
+				}
+			}
+			delete(sh.streams, id)
+			r.nlive.Add(-1)
+			r.met.evicted.Add(1)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// finalCheckpoint snapshots a stream about to be unloaded, skipping the
+// write when the on-disk snapshot is already current.
+func (r *Registry) finalCheckpoint(id string, st *stream) error {
+	st.procMu.Lock()
+	dirty := st.walSince > 0
+	st.procMu.Unlock()
+	if !dirty {
+		return nil
+	}
+	return r.snapshotStream(id, st)
+}
+
+// StreamInfo is an instantaneous snapshot of one stream's observable
+// state, captured under the stream's own locks — never a registry-wide
+// one — so collecting it does not stall ingestion on other streams.
+type StreamInfo struct {
+	ID        string
+	Shard     int
+	Seq       uint64 // sequence numbers assigned so far
+	Steps     int    // vectors consumed by the detector
+	Ready     int
+	Alerts    int
+	QueueLen  int
+	Threshold float64
+	Members   []ensemble.MemberStat // ensemble-backed streams only
+}
+
+// Streams snapshots every live stream's counters. The per-shard locks
+// are held only to collect the stream pointers; counters are then read
+// under each stream's locks, and the caller encodes entirely lock-free.
+func (r *Registry) Streams() []StreamInfo {
+	var all []*stream
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, st := range sh.streams {
+			all = append(all, st)
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]StreamInfo, 0, len(all))
+	for _, st := range all {
+		out = append(out, r.streamInfo(st))
+	}
+	return out
+}
+
+// StreamStats reports one stream's snapshot.
+func (r *Registry) StreamStats(id string) (StreamInfo, bool) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	st, ok := sh.streams[id]
+	sh.mu.Unlock()
+	if !ok {
+		return StreamInfo{}, false
+	}
+	return r.streamInfo(st), true
+}
+
+func (r *Registry) streamInfo(st *stream) StreamInfo {
+	st.qmu.Lock()
+	info := StreamInfo{ID: st.id, Seq: st.seq, QueueLen: len(st.queue)}
+	st.qmu.Unlock()
+	info.Shard = r.shardIndex(st.id)
+	info.Steps = int(st.steps.Load())
+	info.Ready = int(st.ready.Load())
+	info.Alerts = int(st.alerts.Load())
+	info.Threshold = math.Float64frombits(st.thBits.Load())
+	// Member detail needs the detector quiescent; rather than stall the
+	// scrape behind an in-flight pass, omit it when the stream is busy —
+	// the counters above are still fresh.
+	if ms, ok := st.det.(MemberStatser); ok && st.procMu.TryLock() {
+		info.Members = ms.MemberStats()
+		st.procMu.Unlock()
+	}
+	return info
+}
+
+// Close stops the background loops and takes a final checkpoint of every
+// dirty stream. It does not close the store — the caller that opened it
+// owns that. Safe to call more than once.
+func (r *Registry) Close() error {
+	r.closeOnce.Do(func() {
+		if r.evictStop != nil {
+			close(r.evictStop)
+			<-r.evictDone
+		}
+		if r.snapStop != nil {
+			close(r.snapStop)
+			<-r.snapDone
+		}
+		r.closeErr = r.SnapshotAll()
+	})
+	return r.closeErr
+}

@@ -1,0 +1,103 @@
+// Ingestion observability: lock-free counters the /metrics endpoint
+// renders as the streamad_ingest_* families — shed and dropped vectors,
+// evictions, a dispatcher batch-size histogram, and per-shard occupancy
+// and queue depth.
+package ingest
+
+import "sync/atomic"
+
+// BatchSizeBounds are the histogram's upper bucket bounds (a final +Inf
+// bucket is implicit via Batches).
+var BatchSizeBounds = [...]int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// ingestMetrics is the registry's hot-path instrumentation; every field
+// is atomic so scoring never takes a lock to count.
+type ingestMetrics struct {
+	shed    atomic.Uint64
+	dropped atomic.Uint64
+	evicted atomic.Uint64
+
+	batches  atomic.Uint64
+	batchSum atomic.Uint64
+	buckets  [len(BatchSizeBounds)]atomic.Uint64 // cumulative (≤ bound)
+}
+
+// observeBatch records one dispatcher pass over n coalesced vectors.
+func (m *ingestMetrics) observeBatch(n int) {
+	m.batches.Add(1)
+	m.batchSum.Add(uint64(n))
+	for i, b := range BatchSizeBounds {
+		if n <= b {
+			m.buckets[i].Add(1)
+		}
+	}
+}
+
+// ShardStat is one shard's instantaneous load.
+type ShardStat struct {
+	Streams   int // streams resident on the shard
+	QueueDepth int // vectors queued across the shard's streams
+}
+
+// Stats is an instantaneous snapshot of the ingestion layer, cheap
+// enough to take on every /metrics scrape.
+type Stats struct {
+	Shards     int
+	QueueDepth int // configured per-stream bound
+	Overload   Policy
+
+	Streams       int // live streams
+	StreamsTotal  int64 // streams ever created (incl. restored/evicted)
+	QueuedVectors int // vectors currently queued across all streams
+
+	ShedTotal    uint64
+	DroppedTotal uint64
+	EvictedTotal uint64
+
+	Batches      uint64
+	BatchSizeSum uint64
+	// BatchSizeBuckets[i] counts batches of size ≤ BatchSizeBounds[i]
+	// (cumulative, Prometheus histogram convention).
+	BatchSizeBuckets [len(BatchSizeBounds)]uint64
+
+	PerShard []ShardStat
+}
+
+// Stats snapshots the ingestion counters. Queue depths are read under
+// each stream's queue lock, one stream at a time; no registry-wide lock
+// exists to hold.
+func (r *Registry) Stats() Stats {
+	s := Stats{
+		Shards:       len(r.shards),
+		QueueDepth:   r.cfg.QueueDepth,
+		Overload:     r.cfg.Overload,
+		StreamsTotal: r.history.Load(),
+		ShedTotal:    r.met.shed.Load(),
+		DroppedTotal: r.met.dropped.Load(),
+		EvictedTotal: r.met.evicted.Load(),
+		Batches:      r.met.batches.Load(),
+		BatchSizeSum: r.met.batchSum.Load(),
+		PerShard:     make([]ShardStat, len(r.shards)),
+	}
+	for i := range r.met.buckets {
+		s.BatchSizeBuckets[i] = r.met.buckets[i].Load()
+	}
+	for i, sh := range r.shards {
+		sh.mu.Lock()
+		streams := make([]*stream, 0, len(sh.streams))
+		for _, st := range sh.streams {
+			streams = append(streams, st)
+		}
+		sh.mu.Unlock()
+		ss := ShardStat{Streams: len(streams)}
+		for _, st := range streams {
+			st.qmu.Lock()
+			ss.QueueDepth += len(st.queue)
+			st.qmu.Unlock()
+		}
+		s.PerShard[i] = ss
+		s.Streams += ss.Streams
+		s.QueuedVectors += ss.QueueDepth
+	}
+	return s
+}

@@ -1,0 +1,299 @@
+// Durability for the ingestion layer: WAL-backed observes, background
+// snapshots and crash recovery, moved here from internal/server when the
+// registry was sharded. Everything in this file is inert unless
+// Config.Store is set.
+//
+// The recovery invariant: a stream's on-disk state is a snapshot taken
+// at sequence number S plus a WAL holding every vector from some point
+// ≤ S onward (appends precede scoring; rotation follows the snapshot
+// rename). Restoring loads the snapshot and re-steps exactly the records
+// with seq ≥ S, so a process killed at any instant resumes with the same
+// detector state — and therefore the same future scores — as a process
+// that never died. Under the DropOldest policy shed history is simply
+// absent from the WAL; replay skips the gaps the same way the live
+// stream did.
+package ingest
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"streamad/internal/persist"
+	"streamad/internal/score"
+)
+
+// RestoreStreams rebuilds every stream persisted in the configured
+// store. It must be called before the registry takes traffic. The
+// returned warnings describe tolerated damage (a torn WAL tail from a
+// mid-write crash); hard corruption — bad magic, version or CRC —
+// aborts with an error so damaged state is never half-loaded silently.
+func (r *Registry) RestoreStreams() (restored int, warnings []string, err error) {
+	if r.cfg.Store == nil {
+		return 0, nil, nil
+	}
+	ids, err := r.cfg.Store.IDs()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, id := range ids {
+		if int(r.nlive.Load()) >= r.cfg.MaxStreams {
+			return restored, warnings, fmt.Errorf("ingest: stream limit %d reached while restoring %q", r.cfg.MaxStreams, id)
+		}
+		sh := r.shardFor(id)
+		sh.mu.Lock()
+		if _, ok := sh.streams[id]; ok {
+			sh.mu.Unlock()
+			continue
+		}
+		st, warn, err := r.buildStream(id)
+		if err != nil {
+			sh.mu.Unlock()
+			return restored, warnings, fmt.Errorf("ingest: restore stream %q: %w", id, err)
+		}
+		sh.streams[id] = st
+		r.nlive.Add(1)
+		r.history.Add(1)
+		sh.mu.Unlock()
+		warnings = append(warnings, warn...)
+		restored++
+	}
+	return restored, warnings, nil
+}
+
+// buildStream constructs the stream for an id, restoring from the store
+// when it holds state (a snapshot, a WAL, or both) — which is also how a
+// TTL-evicted stream comes back on its next observe. Without persisted
+// state it is simply a fresh detector.
+func (r *Registry) buildStream(id string) (*stream, []string, error) {
+	det, err := r.cfg.NewDetector(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := newStream(id, det, r.cfg.NewThresholder(id))
+	if r.cfg.Store == nil {
+		return st, nil, nil
+	}
+	var warnings []string
+	snap, err := r.cfg.Store.ReadSnapshot(id)
+	if errors.Is(err, os.ErrNotExist) {
+		// No snapshot yet: replay whatever WAL exists from scratch.
+		snap = &persist.StreamSnapshot{ID: id}
+	} else if err != nil {
+		return nil, nil, err
+	}
+	if len(snap.Detector) > 0 {
+		ck, ok := st.det.(Checkpointer)
+		if !ok {
+			return nil, nil, fmt.Errorf("detector %T does not support checkpointing", st.det)
+		}
+		if err := ck.Load(snap.Detector); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(snap.Threshold) > 0 {
+		u, ok := st.th.(encoding.BinaryUnmarshaler)
+		if !ok {
+			return nil, nil, fmt.Errorf("thresholder %T does not support checkpointing", st.th)
+		}
+		if err := u.UnmarshalBinary(snap.Threshold); err != nil {
+			return nil, nil, err
+		}
+	}
+	st.seq = snap.Seq
+	st.seqDone = snap.Seq
+	st.steps.Store(int64(snap.Seq))
+	st.ready.Store(int64(snap.Ready))
+	st.alerts.Store(int64(snap.Alerts))
+
+	recs, walErr := r.cfg.Store.ReadWAL(id)
+	if walErr != nil {
+		if !errors.Is(walErr, persist.ErrTornWAL) {
+			return nil, nil, walErr
+		}
+		warnings = append(warnings, fmt.Sprintf("stream %q: %v (replaying the intact prefix)", id, walErr))
+	}
+	rejected := 0
+	for _, rec := range recs {
+		if rec.Seq < snap.Seq {
+			continue // already folded into the snapshot
+		}
+		st.seq = rec.Seq + 1
+		st.seqDone = rec.Seq + 1
+		st.steps.Store(int64(rec.Seq) + 1)
+		st.walSince++
+		res, out := safeStep(st.det, rec.Vector)
+		if out.panicked {
+			// The live registry logged this vector, then rejected it when
+			// the detector panicked; replay must land in the same state, so
+			// skip it the same way instead of failing recovery.
+			rejected++
+			continue
+		}
+		if out.ok {
+			st.ready.Add(1)
+			if st.th.Alert(res.Score) {
+				st.alerts.Add(1)
+			}
+		}
+	}
+	if rejected > 0 {
+		warnings = append(warnings, fmt.Sprintf(
+			"stream %q: skipped %d WAL record(s) the detector rejected when first observed", id, rejected))
+	}
+	st.thBits.Store(math.Float64bits(st.th.Threshold()))
+	return st, warnings, nil
+}
+
+// snapshotter is the background checkpoint loop: a timer pass over all
+// dirty streams plus per-stream kicks when a WAL crosses SnapshotEvery.
+func (r *Registry) snapshotter() {
+	defer close(r.snapDone)
+	var tick <-chan time.Time
+	if r.cfg.SnapshotInterval > 0 {
+		t := time.NewTicker(r.cfg.SnapshotInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-r.snapStop:
+			return
+		case <-tick:
+			r.SnapshotAll()
+		case id := <-r.snapKick:
+			sh := r.shardFor(id)
+			sh.mu.Lock()
+			st := sh.streams[id]
+			sh.mu.Unlock()
+			if st != nil {
+				if err := r.snapshotStream(id, st); err != nil {
+					r.cfg.Logf("streamad: snapshot %q: %v", id, err)
+				}
+			}
+		}
+	}
+}
+
+// SnapshotAll checkpoints every stream with WAL entries outstanding and
+// returns the first error encountered (all streams are still attempted).
+func (r *Registry) SnapshotAll() error {
+	if r.cfg.Store == nil {
+		return nil
+	}
+	type entry struct {
+		id string
+		st *stream
+	}
+	var all []entry
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for id, st := range sh.streams {
+			all = append(all, entry{id, st})
+		}
+		sh.mu.Unlock()
+	}
+	var first error
+	for _, e := range all {
+		e.st.procMu.Lock()
+		dirty := e.st.walSince > 0
+		e.st.procMu.Unlock()
+		if !dirty {
+			continue
+		}
+		if err := r.snapshotStream(e.id, e.st); err != nil {
+			r.cfg.Logf("streamad: snapshot %q: %v", e.id, err)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// snapshotStream checkpoints one stream: it captures the detector and
+// thresholder under the stream's processing lock, writes the snapshot
+// atomically and rotates the WAL. Holding procMu across the disk write
+// is what makes "snapshot then rotate" atomic with respect to the
+// dispatcher's appends.
+func (r *Registry) snapshotStream(id string, st *stream) error {
+	st.procMu.Lock()
+	defer st.procMu.Unlock()
+	snap, err := buildSnapshot(id, st)
+	if err != nil {
+		return err
+	}
+	if err := r.cfg.Store.WriteSnapshot(snap); err != nil {
+		return err
+	}
+	st.walSince = 0
+	return nil
+}
+
+// buildSnapshot captures a stream's current state; the caller holds
+// st.procMu. The snapshot's Seq is the processed-prefix boundary: queued
+// vectors with higher sequence numbers have not been WAL-appended yet,
+// so rotating the WAL under procMu cannot lose them.
+func buildSnapshot(id string, st *stream) (*persist.StreamSnapshot, error) {
+	ck, ok := st.det.(Checkpointer)
+	if !ok {
+		return nil, fmt.Errorf("ingest: detector %T does not support checkpointing", st.det)
+	}
+	detBlob, err := ck.Save()
+	if err != nil {
+		return nil, err
+	}
+	thBlob, err := marshalThresholder(st.th)
+	if err != nil {
+		return nil, err
+	}
+	return &persist.StreamSnapshot{
+		ID:        id,
+		Seq:       st.seqDone,
+		Detector:  detBlob,
+		Threshold: thBlob,
+		Ready:     int(st.ready.Load()),
+		Alerts:    int(st.alerts.Load()),
+	}, nil
+}
+
+// marshalThresholder snapshots the alert policy. A thresholder without
+// binary support is stored empty and comes back fresh on restore — alert
+// counters still persist, only the policy's warm state is lost.
+func marshalThresholder(th score.Thresholder) ([]byte, error) {
+	m, ok := th.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, nil
+	}
+	return m.MarshalBinary()
+}
+
+// Snapshot builds a fresh checkpoint of one stream (the serving layer's
+// GET /v1/streams/{id}/snapshot). When a store is configured the
+// checkpoint is also persisted, so the call doubles as "force a snapshot
+// now". Returns ErrUnknownStream for ids the registry does not hold.
+func (r *Registry) Snapshot(id string) (*persist.StreamSnapshot, error) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	st, ok := sh.streams[id]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownStream
+	}
+	st.procMu.Lock()
+	defer st.procMu.Unlock()
+	snap, err := buildSnapshot(id, st)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Store != nil {
+		if err := r.cfg.Store.WriteSnapshot(snap); err != nil {
+			return nil, err
+		}
+		st.walSince = 0
+	}
+	return snap, nil
+}

@@ -1,0 +1,43 @@
+package ingest
+
+import "fmt"
+
+// Policy picks what admission does when a stream's queue is full.
+type Policy int
+
+const (
+	// Block makes the producer wait for queue space: backpressure, the
+	// behaviour of the original synchronous endpoint.
+	Block Policy = iota
+	// Shed rejects the vector with ErrOverload (HTTP: 429 + Retry-After).
+	Shed
+	// DropOldest discards the oldest queued vector to admit the new one;
+	// the discarded vector's producer receives a Dropped result.
+	DropOldest
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	case DropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses the -overload flag spellings.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "shed":
+		return Shed, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown overload policy %q (want block, shed or drop-oldest)", s)
+}

@@ -1,0 +1,478 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamad/internal/core"
+	"streamad/internal/ingest"
+	"streamad/internal/score"
+)
+
+// seqDetector is deterministic and history-dependent: the score folds in
+// every past vector, so any reordering within a stream is visible.
+type seqDetector struct {
+	n   int
+	acc float64
+}
+
+func (d *seqDetector) Step(v []float64) (core.Result, bool) {
+	d.n++
+	d.acc = 0.9*d.acc + v[0] + 0.01*float64(d.n)
+	if d.n <= 2 {
+		return core.Result{}, false
+	}
+	s := 0.5 + 0.5*math.Tanh(d.acc)
+	return core.Result{Score: s, Nonconformity: s}, true
+}
+
+// gateDet blocks inside Step until released, reporting entry — used to
+// hold a queue full while overload behavior is probed.
+type gateDet struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (d *gateDet) Step(v []float64) (core.Result, bool) {
+	select {
+	case d.entered <- struct{}{}:
+	default:
+	}
+	<-d.release
+	return core.Result{Score: 0.1, Nonconformity: 0.1}, true
+}
+
+func newIngestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	if cfg.NewDetector == nil {
+		cfg.NewDetector = func(string) (Stepper, error) { return &seqDetector{}, nil }
+	}
+	if cfg.NewThresholder == nil {
+		cfg.NewThresholder = func(string) score.Thresholder {
+			return &score.StaticThresholder{T: 0.9}
+		}
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postBatch sends NDJSON lines to /v1/observe and decodes the NDJSON
+// response.
+func postBatch(t *testing.T, ts *httptest.Server, body string) ([]BatchResult, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/observe", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []BatchResult
+	if resp.StatusCode == http.StatusOK {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var br BatchResult
+			if err := json.Unmarshal(line, &br); err != nil {
+				t.Fatalf("bad response line %q: %v", line, err)
+			}
+			out = append(out, br)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp
+}
+
+func batchLine(stream string, vec []float64) string {
+	b, _ := json.Marshal(batchRecord{Stream: stream, Vector: vec})
+	return string(b) + "\n"
+}
+
+// TestBatchObserve drives interleaved vectors for several streams through
+// one NDJSON batch and checks per-record results come back in request
+// order, with monotonic per-stream sequence numbers and scores identical
+// to the single-vector endpoint's.
+func TestBatchObserve(t *testing.T) {
+	ts := newIngestServer(t, Config{})
+	ref := newIngestServer(t, Config{})
+
+	const streams, n = 3, 8
+	var body strings.Builder
+	type key struct{ stream, step int }
+	for i := 0; i < n; i++ {
+		for s := 0; s < streams; s++ {
+			body.WriteString(batchLine(fmt.Sprintf("s-%d", s), []float64{float64(s) + float64(i)/7, 0.5}))
+		}
+	}
+	results, resp := postBatch(t, ts, body.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", got)
+	}
+	if len(results) != streams*n {
+		t.Fatalf("%d results for %d records", len(results), streams*n)
+	}
+	// Request order and per-stream monotonic sequence.
+	idx := 0
+	for i := 0; i < n; i++ {
+		for s := 0; s < streams; s++ {
+			r := results[idx]
+			idx++
+			if want := fmt.Sprintf("s-%d", s); r.Stream != want {
+				t.Fatalf("record %d: stream %q, want %q (request order)", idx-1, r.Stream, want)
+			}
+			if r.Seq != uint64(i) {
+				t.Fatalf("stream %s: seq %d at step %d", r.Stream, r.Seq, i)
+			}
+			if r.Error != "" || r.Shed || r.Dropped {
+				t.Fatalf("record %d unexpectedly degraded: %+v", idx-1, r)
+			}
+			// Bit-identical to the single-vector path on a fresh server.
+			single, code := observe(t, ref, r.Stream, []float64{float64(s) + float64(i)/7, 0.5})
+			if code != http.StatusOK {
+				t.Fatalf("reference observe: %d", code)
+			}
+			if single.Ready != r.Ready || single.Score != r.Score {
+				t.Fatalf("stream %s step %d: batch %v/%v vs single %v/%v",
+					r.Stream, i, r.Ready, r.Score, single.Ready, single.Score)
+			}
+		}
+	}
+	_ = key{}
+}
+
+// TestBatchObserveBadRecords: malformed lines degrade to inline error
+// records — the batch itself still succeeds for the valid lines.
+func TestBatchObserveBadRecords(t *testing.T) {
+	ts := newIngestServer(t, Config{})
+	body := batchLine("ok", []float64{1, 2}) +
+		"{not json}\n" +
+		`{"vector": [1, 2]}` + "\n" + // missing stream
+		`{"stream": "ok"}` + "\n" + // empty vector
+		batchLine("ok", []float64{2, 1})
+	results, resp := postBatch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d results, want 5", len(results))
+	}
+	if results[0].Error != "" || results[4].Error != "" {
+		t.Fatalf("valid records errored: %+v / %+v", results[0], results[4])
+	}
+	if results[0].Seq != 0 || results[4].Seq != 1 {
+		t.Fatalf("valid records out of sequence: %d, %d", results[0].Seq, results[4].Seq)
+	}
+	for i := 1; i <= 3; i++ {
+		if results[i].Error == "" {
+			t.Fatalf("bad record %d produced no error: %+v", i, results[i])
+		}
+	}
+
+	// Method and empty-body contract.
+	resp2, err := http.Get(ts.URL + "/v1/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/observe = %d", resp2.StatusCode)
+	}
+	if _, resp3 := postBatch(t, ts, "\n\n"); resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d", resp3.StatusCode)
+	}
+}
+
+// TestShedReturns429: with the shed policy and a saturated queue, the
+// single-vector endpoint answers 429 with a Retry-After hint.
+func TestShedReturns429(t *testing.T) {
+	gate := &gateDet{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	ts := newIngestServer(t, Config{
+		NewDetector: func(string) (Stepper, error) { return gate, nil },
+		QueueDepth:  1,
+		Overload:    ingest.Shed,
+	})
+	var wg sync.WaitGroup
+	codes := make(chan int, 2)
+	post := func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/v1/streams/hot/observe", "application/json",
+			strings.NewReader(`{"vector": [1, 2]}`))
+		if err != nil {
+			t.Error(err)
+			codes <- 0
+			return
+		}
+		resp.Body.Close()
+		codes <- resp.StatusCode
+	}
+	wg.Add(1)
+	go post()
+	<-gate.entered // first vector is mid-Step; queue empty again
+	wg.Add(1)
+	go post() // fills the queue
+	// Wait until the second observe is actually queued before probing.
+	waitForQueued(t, ts, "hot")
+
+	resp, err := http.Post(ts.URL+"/v1/streams/hot/observe", "application/json",
+		strings.NewReader(`{"vector": [1, 2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated observe = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	close(gate.release)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("admitted observe finished %d", code)
+		}
+	}
+}
+
+// waitForQueued polls the stream's stats endpoint until one vector is
+// queued (the in-flight one doesn't count). The endpoint answering at
+// all while a detector pass is blocked is itself part of the contract
+// under test: stats reads must not wait on the processing lock.
+func waitForQueued(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/streams/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st StatsResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err == nil && st.Queued >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("second vector never reached the queue")
+}
+
+// TestBatchShedMarkers: under the shed policy, records a batch cannot
+// admit come back as inline shed markers with a retry hint — the batch
+// itself still succeeds, and records for other streams score normally.
+func TestBatchShedMarkers(t *testing.T) {
+	gate := &gateDet{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	ts := newIngestServer(t, Config{
+		NewDetector: func(string) (Stepper, error) { return gate, nil },
+		QueueDepth:  1,
+		Overload:    ingest.Shed,
+	})
+	// Saturate "hot" deterministically: one vector mid-Step, one queued.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/streams/hot/observe", "application/json",
+				strings.NewReader(`{"vector": [1, 0]}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}()
+		if i == 0 {
+			<-gate.entered
+		}
+	}
+	waitForQueued(t, ts, "hot")
+
+	// Every record targets the saturated stream, so the whole batch
+	// sheds — and therefore completes without waiting on the gate.
+	body := batchLine("hot", []float64{2, 0}) + batchLine("hot", []float64{3, 0})
+	results, resp := postBatch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if !r.Shed || r.RetryAfterMs <= 0 {
+			t.Fatalf("saturated record %d = %+v, want shed with retry_after_ms", i, r)
+		}
+		if r.Error != "" || r.Ready {
+			t.Fatalf("shed record %d carries score state: %+v", i, r)
+		}
+	}
+	close(gate.release)
+	wg.Wait()
+}
+
+// TestConcurrentIngestStress is the acceptance test: 16 streams fed
+// concurrently through NDJSON batches must preserve per-stream order
+// (monotonic seq) and produce scores bit-identical to a serial reference
+// run. Run with -race.
+func TestConcurrentIngestStress(t *testing.T) {
+	const (
+		producers      = 4
+		streamsPerProd = 4 // 16 streams total
+		vectorsPerStr  = 120
+		batchSize      = 10
+	)
+	ts := newIngestServer(t, Config{Shards: 4, QueueDepth: 8})
+
+	vecFor := func(s, i int) []float64 {
+		return []float64{math.Sin(float64(s) + float64(i)/9), math.Cos(float64(i) / 7)}
+	}
+
+	type rec struct {
+		seq   uint64
+		ready bool
+		score float64
+	}
+	got := make(map[string][]rec, producers*streamsPerProd)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Each producer owns its streams and interleaves them within
+			// every batch.
+			for base := 0; base < vectorsPerStr; base += batchSize {
+				var body strings.Builder
+				for i := base; i < base+batchSize; i++ {
+					for s := 0; s < streamsPerProd; s++ {
+						sid := p*streamsPerProd + s
+						body.WriteString(batchLine(fmt.Sprintf("str-%d", sid), vecFor(sid, i)))
+					}
+				}
+				results, resp := postBatch(t, ts, body.String())
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("producer %d: status %d", p, resp.StatusCode)
+					return
+				}
+				mu.Lock()
+				for _, r := range results {
+					if r.Error != "" || r.Shed || r.Dropped {
+						t.Errorf("degraded record: %+v", r)
+					}
+					got[r.Stream] = append(got[r.Stream], rec{r.Seq, r.Ready, r.Score})
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if len(got) != producers*streamsPerProd {
+		t.Fatalf("%d streams responded, want %d", len(got), producers*streamsPerProd)
+	}
+	for sid := 0; sid < producers*streamsPerProd; sid++ {
+		id := fmt.Sprintf("str-%d", sid)
+		recs := got[id]
+		if len(recs) != vectorsPerStr {
+			t.Fatalf("stream %s: %d results, want %d", id, len(recs), vectorsPerStr)
+		}
+		ref := &seqDetector{}
+		for i, r := range recs {
+			if r.seq != uint64(i) {
+				t.Fatalf("stream %s: seq %d at position %d (order broken)", id, r.seq, i)
+			}
+			res, ok := ref.Step(vecFor(sid, i))
+			if r.ready != ok || (ok && r.score != res.Score) {
+				t.Fatalf("stream %s step %d: %v/%v, want %v/%v (must be bit-identical to serial)",
+					id, i, r.ready, r.score, ok, res.Score)
+			}
+		}
+	}
+}
+
+// TestIngestMetricsFamilies: the scrape must carry the ingestion families
+// with believable values after real traffic.
+func TestIngestMetricsFamilies(t *testing.T) {
+	ts := newIngestServer(t, Config{Shards: 2})
+	var body strings.Builder
+	for i := 0; i < 10; i++ {
+		body.WriteString(batchLine("m-0", []float64{1, 2}))
+		body.WriteString(batchLine("m-1", []float64{2, 1}))
+	}
+	if _, resp := postBatch(t, ts, body.String()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := readAll(resp)
+	for _, want := range []string{
+		"streamad_ingest_shed_total",
+		"streamad_ingest_dropped_total",
+		"streamad_ingest_evicted_streams_total",
+		`streamad_ingest_shard_streams{shard="0"}`,
+		`streamad_ingest_shard_streams{shard="1"}`,
+		`streamad_ingest_queue_depth{shard="0"}`,
+		`streamad_ingest_batch_size_bucket{le="+Inf"}`,
+		"streamad_ingest_batch_size_sum",
+		"streamad_ingest_batch_size_count",
+	} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	// Two streams across two shards, and every vector accounted for in
+	// the histogram sum.
+	if !strings.Contains(raw, "streamad_ingest_batch_size_sum 20") {
+		t.Errorf("batch_size_sum should count all 20 vectors:\n%s", grepLines(raw, "batch_size"))
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String(), sc.Err()
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

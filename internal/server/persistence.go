@@ -1,34 +1,23 @@
-// Durability for the serving layer: WAL-backed observes, background
-// snapshots and crash recovery. Everything here is inert unless
-// Config.Store is set.
-//
-// The recovery invariant: a stream's on-disk state is a snapshot taken at
-// sequence number S plus a WAL holding every vector from some point ≤ S
-// onward (appends precede scoring; rotation follows the snapshot rename).
-// RestoreStreams loads the snapshot and re-steps exactly the records with
-// seq ≥ S, so a process killed at any instant resumes with the same
-// detector state — and therefore the same future scores — as a process
-// that never died.
+// Durability for the serving layer. The mechanics — WAL-backed
+// observes, background snapshots, crash recovery, TTL eviction — live in
+// the sharded ingestion registry (internal/ingest); this file keeps the
+// server's stable surface (RestoreStreams, SnapshotAll, Close and the
+// snapshot-download endpoint) as thin delegations. Everything here is
+// inert unless Config.Store is set.
 package server
 
 import (
-	"encoding"
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
-	"time"
 
+	"streamad/internal/ingest"
 	"streamad/internal/persist"
-	"streamad/internal/score"
 )
 
 // Checkpointer is the contract a detector must add to Stepper for the
 // server to persist it (streamad.Detector satisfies it).
-type Checkpointer interface {
-	Save() ([]byte, error)
-	Load([]byte) error
-}
+type Checkpointer = ingest.Checkpointer
 
 // RestoreStreams rebuilds every stream persisted in the configured store.
 // It must be called before the server starts handling traffic. The
@@ -36,237 +25,23 @@ type Checkpointer interface {
 // mid-write crash); hard corruption — bad magic, version or CRC — aborts
 // with an error so damaged state is never half-loaded silently.
 func (s *Server) RestoreStreams() (restored int, warnings []string, err error) {
-	if s.cfg.Store == nil {
-		return 0, nil, nil
-	}
-	ids, err := s.cfg.Store.IDs()
-	if err != nil {
-		return 0, nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, id := range ids {
-		if len(s.streams) >= s.cfg.MaxStreams {
-			return restored, warnings, fmt.Errorf("server: stream limit %d reached while restoring %q", s.cfg.MaxStreams, id)
-		}
-		st, warn, err := s.restoreStream(id)
-		if err != nil {
-			return restored, warnings, fmt.Errorf("server: restore stream %q: %w", id, err)
-		}
-		warnings = append(warnings, warn...)
-		s.streams[id] = st
-		restored++
-	}
-	return restored, warnings, nil
-}
-
-// restoreStream rebuilds one stream from its snapshot and WAL.
-func (s *Server) restoreStream(id string) (*stream, []string, error) {
-	var warnings []string
-	snap, err := s.cfg.Store.ReadSnapshot(id)
-	if errors.Is(err, os.ErrNotExist) {
-		// Crashed before the first snapshot: replay the WAL from scratch.
-		snap = &persist.StreamSnapshot{ID: id}
-	} else if err != nil {
-		return nil, nil, err
-	}
-	det, err := s.cfg.NewDetector(id)
-	if err != nil {
-		return nil, nil, err
-	}
-	th := s.cfg.NewThresholder(id)
-	if len(snap.Detector) > 0 {
-		ck, ok := det.(Checkpointer)
-		if !ok {
-			return nil, nil, fmt.Errorf("detector %T does not support checkpointing", det)
-		}
-		if err := ck.Load(snap.Detector); err != nil {
-			return nil, nil, err
-		}
-	}
-	if len(snap.Threshold) > 0 {
-		u, ok := th.(encoding.BinaryUnmarshaler)
-		if !ok {
-			return nil, nil, fmt.Errorf("thresholder %T does not support checkpointing", th)
-		}
-		if err := u.UnmarshalBinary(snap.Threshold); err != nil {
-			return nil, nil, err
-		}
-	}
-	st := &stream{det: det, th: th, steps: int(snap.Seq), ready: snap.Ready, alerts: snap.Alerts}
-
-	recs, walErr := s.cfg.Store.ReadWAL(id)
-	if walErr != nil {
-		if !errors.Is(walErr, persist.ErrTornWAL) {
-			return nil, nil, walErr
-		}
-		warnings = append(warnings, fmt.Sprintf("stream %q: %v (replaying the intact prefix)", id, walErr))
-	}
-	rejected := 0
-	for _, rec := range recs {
-		if rec.Seq < snap.Seq {
-			continue // already folded into the snapshot
-		}
-		st.steps = int(rec.Seq) + 1
-		st.walSince++
-		res, out := safeStep(st.det, rec.Vector)
-		if out.panicked {
-			// The live server logged this vector, then rejected it with a
-			// 400 when the detector panicked; replay must land in the same
-			// state, so skip it the same way instead of failing recovery.
-			rejected++
-			continue
-		}
-		if out.ok {
-			st.ready++
-			if st.th.Alert(res.Score) {
-				st.alerts++
-			}
-		}
-	}
-	if rejected > 0 {
-		warnings = append(warnings, fmt.Sprintf(
-			"stream %q: skipped %d WAL record(s) the detector rejected when first observed", id, rejected))
-	}
-	return st, warnings, nil
-}
-
-// snapshotter is the background checkpoint loop: a timer pass over all
-// dirty streams plus per-stream kicks when a WAL crosses SnapshotEvery.
-func (s *Server) snapshotter() {
-	defer close(s.snapDone)
-	var tick <-chan time.Time
-	if s.cfg.SnapshotInterval > 0 {
-		t := time.NewTicker(s.cfg.SnapshotInterval)
-		defer t.Stop()
-		tick = t.C
-	}
-	for {
-		select {
-		case <-s.snapStop:
-			return
-		case <-tick:
-			s.SnapshotAll()
-		case id := <-s.snapKick:
-			s.mu.Lock()
-			st := s.streams[id]
-			s.mu.Unlock()
-			if st != nil {
-				if err := s.snapshotStream(id, st); err != nil {
-					s.cfg.Logf("streamad: snapshot %q: %v", id, err)
-				}
-			}
-		}
-	}
+	return s.reg.RestoreStreams()
 }
 
 // SnapshotAll checkpoints every stream with WAL entries outstanding and
 // returns the first error encountered (all streams are still attempted).
-func (s *Server) SnapshotAll() error {
-	if s.cfg.Store == nil {
-		return nil
-	}
-	type entry struct {
-		id string
-		st *stream
-	}
-	s.mu.Lock()
-	all := make([]entry, 0, len(s.streams))
-	for id, st := range s.streams {
-		all = append(all, entry{id, st})
-	}
-	s.mu.Unlock()
-	var first error
-	for _, e := range all {
-		e.st.mu.Lock()
-		dirty := e.st.walSince > 0
-		e.st.mu.Unlock()
-		if !dirty {
-			continue
-		}
-		if err := s.snapshotStream(e.id, e.st); err != nil {
-			s.cfg.Logf("streamad: snapshot %q: %v", e.id, err)
-			if first == nil {
-				first = err
-			}
-		}
-	}
-	return first
-}
-
-// snapshotStream checkpoints one stream: it captures the detector and
-// thresholder under the stream lock, writes the snapshot atomically and
-// rotates the WAL. Holding the lock across the disk write is what makes
-// "snapshot then rotate" atomic with respect to concurrent appends.
-func (s *Server) snapshotStream(id string, st *stream) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	snap, err := buildSnapshot(id, st)
-	if err != nil {
-		return err
-	}
-	if err := s.cfg.Store.WriteSnapshot(snap); err != nil {
-		return err
-	}
-	st.walSince = 0
-	return nil
-}
-
-// buildSnapshot captures a stream's current state; the caller holds st.mu.
-func buildSnapshot(id string, st *stream) (*persist.StreamSnapshot, error) {
-	ck, ok := st.det.(Checkpointer)
-	if !ok {
-		return nil, fmt.Errorf("server: detector %T does not support checkpointing", st.det)
-	}
-	detBlob, err := ck.Save()
-	if err != nil {
-		return nil, err
-	}
-	thBlob, err := marshalThresholder(st.th)
-	if err != nil {
-		return nil, err
-	}
-	return &persist.StreamSnapshot{
-		ID:        id,
-		Seq:       uint64(st.steps),
-		Detector:  detBlob,
-		Threshold: thBlob,
-		Ready:     st.ready,
-		Alerts:    st.alerts,
-	}, nil
-}
-
-// marshalThresholder snapshots the alert policy. A thresholder without
-// binary support is stored empty and comes back fresh on restore — alert
-// counters still persist, only the policy's warm state is lost.
-func marshalThresholder(th score.Thresholder) ([]byte, error) {
-	m, ok := th.(encoding.BinaryMarshaler)
-	if !ok {
-		return nil, nil
-	}
-	return m.MarshalBinary()
-}
+func (s *Server) SnapshotAll() error { return s.reg.SnapshotAll() }
 
 // handleSnapshot serves GET /v1/streams/{id}/snapshot: a fresh checkpoint
 // of the stream in the persist file format (magic, version, CRC), suitable
 // for off-box backup. When a store is configured the checkpoint is also
 // persisted, so the endpoint doubles as "force a snapshot now".
 func (s *Server) handleSnapshot(w http.ResponseWriter, id string) {
-	s.mu.Lock()
-	st, ok := s.streams[id]
-	s.mu.Unlock()
-	if !ok {
+	snap, err := s.reg.Snapshot(id)
+	if errors.Is(err, ingest.ErrUnknownStream) {
 		http.Error(w, "unknown stream", http.StatusNotFound)
 		return
 	}
-	st.mu.Lock()
-	snap, err := buildSnapshot(id, st)
-	if err == nil && s.cfg.Store != nil {
-		if err = s.cfg.Store.WriteSnapshot(snap); err == nil {
-			st.walSince = 0
-		}
-	}
-	st.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -281,16 +56,8 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, id string) {
 	w.Write(file)
 }
 
-// Close stops the background snapshotter and takes a final checkpoint of
-// every dirty stream. It does not close the store — the caller that opened
-// it owns that. Safe to call more than once.
-func (s *Server) Close() error {
-	s.closeOnce.Do(func() {
-		if s.snapStop != nil {
-			close(s.snapStop)
-			<-s.snapDone
-		}
-		s.closeErr = s.SnapshotAll()
-	})
-	return s.closeErr
-}
+// Close stops the registry's background loops (snapshotter, evictor) and
+// takes a final checkpoint of every dirty stream. It does not close the
+// store — the caller that opened it owns that. Safe to call more than
+// once.
+func (s *Server) Close() error { return s.reg.Close() }

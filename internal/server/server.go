@@ -1,47 +1,52 @@
 // Package server exposes the streaming anomaly detectors over HTTP with a
 // minimal JSON API, so non-Go producers can push telemetry and consume
-// anomaly scores. It builds on the concurrent monitor: each stream id gets
-// its own detector and thresholder.
+// anomaly scores. The HTTP layer is deliberately thin: all stream state
+// lives in the sharded ingestion registry (internal/ingest), which gives
+// every stream id its own detector, thresholder, bounded queue and
+// sequence numbering.
 //
-//	POST /v1/streams/{id}/observe   {"vector": [..]}        → score + alert
-//	GET  /v1/streams                                         → stream list
-//	GET  /v1/streams/{id}                                    → stream stats (incl. ensemble members)
-//	GET  /v1/streams/{id}/snapshot                           → checkpoint file
-//	GET  /metrics                                            → Prometheus text exposition
-//	GET  /healthz                                            → 200 ok
+//	POST /v1/observe                 NDJSON {"stream": .., "vector": ..}  → per-record results
+//	POST /v1/streams/{id}/observe    {"vector": [..]}                    → score + alert
+//	GET  /v1/streams                                                     → stream list
+//	GET  /v1/streams/{id}                                                → stream stats (incl. ensemble members)
+//	GET  /v1/streams/{id}/snapshot                                       → checkpoint file
+//	GET  /metrics                                                        → Prometheus text exposition
+//	GET  /healthz                                                        → 200 ok
 //
-// Observe is synchronous (the detector runs in the request handler, with
-// one lock per stream), which gives producers backpressure for free and
-// returns the score in the response.
+// Observe is synchronous (the producer waits for its vector's score) but
+// scoring runs behind bounded per-stream queues with a micro-batching
+// dispatcher, so many streams score concurrently and a burst on one
+// stream coalesces into single locked detector passes. When a queue
+// fills, the configured overload policy decides between backpressure
+// (block), load-shedding (429 + Retry-After) and drop-oldest.
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
-	"streamad/internal/core"
 	"streamad/internal/ensemble"
+	"streamad/internal/ingest"
 	"streamad/internal/persist"
 	"streamad/internal/score"
 )
 
-// Stepper is the per-stream detector contract.
-type Stepper interface {
-	Step(s []float64) (core.Result, bool)
-}
+// Stepper is the per-stream detector contract (re-exported from the
+// ingestion layer, where it now lives).
+type Stepper = ingest.Stepper
 
 // MemberStatser is the optional Stepper extension implemented by
 // ensemble-backed detectors (streamad.Ensemble): per-member counters,
 // agreement and weights, surfaced in stream stats and /metrics.
-type MemberStatser interface {
-	MemberStats() []ensemble.MemberStat
-}
+type MemberStatser = ingest.MemberStatser
 
 // Config assembles a Server.
 type Config struct {
@@ -52,6 +57,19 @@ type Config struct {
 	NewThresholder func(stream string) score.Thresholder
 	// MaxStreams bounds the number of live streams (default 1024).
 	MaxStreams int
+	// Shards is the number of registry shards (default 8).
+	Shards int
+	// QueueDepth bounds each stream's pending-vector queue (default 64).
+	QueueDepth int
+	// Overload picks the full-queue policy: ingest.Block (backpressure,
+	// default), ingest.Shed (429 + Retry-After) or ingest.DropOldest.
+	Overload ingest.Policy
+	// RetryAfter is the back-off hint attached to 429 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// StreamTTL, when positive, checkpoints and unloads streams with no
+	// observes for the TTL (see ingest.Config.StreamTTL).
+	StreamTTL time.Duration
 	// Store, when set, makes the server durable: every observed vector is
 	// appended to the stream's WAL before it is scored, snapshots are taken
 	// in the background, and RestoreStreams rebuilds state on startup.
@@ -68,28 +86,8 @@ type Config struct {
 
 // Server is an http.Handler serving the scoring API.
 type Server struct {
-	cfg     Config
-	mu      sync.Mutex
-	streams map[string]*stream
-	mux     *http.ServeMux
-
-	snapStop  chan struct{}
-	snapDone  chan struct{}
-	snapKick  chan string
-	closeOnce sync.Once
-	closeErr  error
-}
-
-type stream struct {
-	mu     sync.Mutex
-	det    Stepper
-	th     score.Thresholder
-	steps  int
-	ready  int
-	alerts int
-	// walSince counts vectors appended to the WAL since the last
-	// snapshot; it is what the snapshot triggers look at.
-	walSince int
+	reg *ingest.Registry
+	mux *http.ServeMux
 }
 
 // New validates the configuration and returns a Server.
@@ -97,121 +95,35 @@ func New(cfg Config) (*Server, error) {
 	if cfg.NewDetector == nil {
 		return nil, fmt.Errorf("server: NewDetector is required")
 	}
-	if cfg.NewThresholder == nil {
-		cfg.NewThresholder = func(string) score.Thresholder {
-			return score.NewQuantileThresholder(0.99)
-		}
+	reg, err := ingest.New(ingest.Config{
+		NewDetector:      cfg.NewDetector,
+		NewThresholder:   cfg.NewThresholder,
+		Shards:           cfg.Shards,
+		QueueDepth:       cfg.QueueDepth,
+		Overload:         cfg.Overload,
+		RetryAfter:       cfg.RetryAfter,
+		MaxStreams:       cfg.MaxStreams,
+		StreamTTL:        cfg.StreamTTL,
+		Store:            cfg.Store,
+		SnapshotInterval: cfg.SnapshotInterval,
+		SnapshotEvery:    cfg.SnapshotEvery,
+		Logf:             cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.MaxStreams <= 0 {
-		cfg.MaxStreams = 1024
-	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...interface{}) {}
-	}
-	s := &Server{cfg: cfg, streams: make(map[string]*stream), mux: http.NewServeMux()}
+	s := &Server{reg: reg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/observe", s.handleBatchObserve)
 	s.mux.HandleFunc("/v1/streams", s.handleList)
 	s.mux.HandleFunc("/v1/streams/", s.handleStream)
-	if cfg.Store != nil {
-		s.snapStop = make(chan struct{})
-		s.snapDone = make(chan struct{})
-		s.snapKick = make(chan string, 64)
-		go s.snapshotter()
-	}
 	return s, nil
 }
 
-// handleMetrics exposes per-stream counters in the Prometheus text
-// exposition format, so the daemon plugs into standard scraping setups
-// without any dependency. Ensemble-backed streams additionally get one
-// row per member in the streamad_ensemble_member_* families.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	type row struct {
-		id                   string
-		steps, ready, alerts int
-		members              []ensemble.MemberStat
-	}
-	s.mu.Lock()
-	rows := make([]row, 0, len(s.streams))
-	for id, st := range s.streams {
-		st.mu.Lock()
-		rw := row{id: id, steps: st.steps, ready: st.ready, alerts: st.alerts}
-		if ms, ok := st.det.(MemberStatser); ok {
-			rw.members = ms.MemberStats()
-		}
-		st.mu.Unlock()
-		rows = append(rows, rw)
-	}
-	s.mu.Unlock()
-	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintln(w, "# HELP streamad_steps_total Stream vectors observed per stream.")
-	fmt.Fprintln(w, "# TYPE streamad_steps_total counter")
-	for _, r := range rows {
-		fmt.Fprintf(w, "streamad_steps_total{stream=%q} %d\n", r.id, r.steps)
-	}
-	fmt.Fprintln(w, "# HELP streamad_ready_steps_total Scored (post-warmup) steps per stream.")
-	fmt.Fprintln(w, "# TYPE streamad_ready_steps_total counter")
-	for _, r := range rows {
-		fmt.Fprintf(w, "streamad_ready_steps_total{stream=%q} %d\n", r.id, r.ready)
-	}
-	fmt.Fprintln(w, "# HELP streamad_alerts_total Threshold crossings per stream.")
-	fmt.Fprintln(w, "# TYPE streamad_alerts_total counter")
-	for _, r := range rows {
-		fmt.Fprintf(w, "streamad_alerts_total{stream=%q} %d\n", r.id, r.alerts)
-	}
-	hasMembers := false
-	for _, r := range rows {
-		if len(r.members) > 0 {
-			hasMembers = true
-			break
-		}
-	}
-	if !hasMembers {
-		return
-	}
-	memberRows := func(emit func(r row, m ensemble.MemberStat)) {
-		for _, r := range rows {
-			for _, m := range r.members {
-				emit(r, m)
-			}
-		}
-	}
-	fmt.Fprintln(w, "# HELP streamad_ensemble_member_ready_total Scored steps per ensemble member.")
-	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_ready_total counter")
-	memberRows(func(r row, m ensemble.MemberStat) {
-		fmt.Fprintf(w, "streamad_ensemble_member_ready_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, m.Ready)
-	})
-	fmt.Fprintln(w, "# HELP streamad_ensemble_member_fine_tunes_total Drift-triggered fine-tunes per ensemble member.")
-	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_fine_tunes_total counter")
-	memberRows(func(r row, m ensemble.MemberStat) {
-		fmt.Fprintf(w, "streamad_ensemble_member_fine_tunes_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, m.FineTunes)
-	})
-	fmt.Fprintln(w, "# HELP streamad_ensemble_member_agreement Rolling consensus-agreement counter per ensemble member.")
-	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_agreement gauge")
-	memberRows(func(r row, m ensemble.MemberStat) {
-		fmt.Fprintf(w, "streamad_ensemble_member_agreement{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, m.Agreement)
-	})
-	fmt.Fprintln(w, "# HELP streamad_ensemble_member_weight Normalized aggregation weight per ensemble member (0 when pruned).")
-	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_weight gauge")
-	memberRows(func(r row, m ensemble.MemberStat) {
-		fmt.Fprintf(w, "streamad_ensemble_member_weight{stream=%q,member=\"%d\",spec=%q} %g\n", r.id, m.Index, m.Label, m.Weight)
-	})
-	fmt.Fprintln(w, "# HELP streamad_ensemble_member_disabled Whether the pruning policy currently excludes the member (0/1).")
-	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_disabled gauge")
-	memberRows(func(r row, m ensemble.MemberStat) {
-		v := 0
-		if m.Disabled {
-			v = 1
-		}
-		fmt.Fprintf(w, "streamad_ensemble_member_disabled{stream=%q,member=\"%d\",spec=%q} %d\n", r.id, m.Index, m.Label, v)
-	})
-}
+// Registry exposes the ingestion layer (stats, eviction, snapshots) to
+// embedders such as cmd/streamadd.
+func (s *Server) Registry() *ingest.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -228,19 +140,18 @@ type streamListEntry struct {
 	Alerts int    `json:"alerts"`
 }
 
+// handleList snapshots the stream list under the registry's per-stream
+// locks and encodes entirely outside any lock.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	out := make([]streamListEntry, 0, len(s.streams))
-	for id, st := range s.streams {
-		st.mu.Lock()
-		out = append(out, streamListEntry{ID: id, Steps: st.steps, Alerts: st.alerts})
-		st.mu.Unlock()
+	infos := s.reg.Streams()
+	out := make([]streamListEntry, 0, len(infos))
+	for _, in := range infos {
+		out = append(out, streamListEntry{ID: in.ID, Steps: in.Steps, Alerts: in.Alerts})
 	}
-	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	writeJSON(w, http.StatusOK, out)
 }
@@ -250,7 +161,8 @@ type observeRequest struct {
 	Vector []float64 `json:"vector"`
 }
 
-// ObserveResponse is the scoring result returned to the producer.
+// ObserveResponse is the scoring result returned to the producer. Step
+// is the vector's per-stream sequence number (monotonic per stream).
 type ObserveResponse struct {
 	Ready         bool    `json:"ready"`
 	Score         float64 `json:"score"`
@@ -259,6 +171,9 @@ type ObserveResponse struct {
 	Threshold     float64 `json:"threshold,omitempty"`
 	FineTuned     bool    `json:"fine_tuned,omitempty"`
 	Step          int     `json:"step"`
+	// Dropped marks a vector the drop-oldest overload policy discarded
+	// before scoring; its sequence number was consumed but no score exists.
+	Dropped bool `json:"dropped,omitempty"`
 }
 
 // MemberStatus is one ensemble member's row in StatsResponse.
@@ -281,6 +196,7 @@ type StatsResponse struct {
 	Steps     int            `json:"steps"`
 	Ready     int            `json:"ready_steps"`
 	Alerts    int            `json:"alerts"`
+	Queued    int            `json:"queued,omitempty"`
 	Threshold float64        `json:"threshold,omitempty"`
 	Members   []MemberStatus `json:"members,omitempty"`
 }
@@ -317,23 +233,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) getOrCreate(id string) (*stream, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.streams[id]
-	if ok {
-		return st, nil
+// retryAfterSeconds renders the Retry-After header value (whole seconds,
+// rounded up, at least 1).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
 	}
-	if len(s.streams) >= s.cfg.MaxStreams {
-		return nil, fmt.Errorf("stream limit %d reached", s.cfg.MaxStreams)
-	}
-	det, err := s.cfg.NewDetector(id)
-	if err != nil {
-		return nil, err
-	}
-	st = &stream{det: det, th: s.cfg.NewThresholder(id)}
-	s.streams[id] = st
-	return st, nil
+	return secs
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
@@ -346,95 +253,58 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		http.Error(w, "empty vector", http.StatusBadRequest)
 		return
 	}
-	st, err := s.getOrCreate(id)
+	res, err := s.reg.Observe(id, req.Vector)
+	if errors.Is(err, ingest.ErrOverload) {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(s.reg.RetryAfter())))
+		http.Error(w, "stream queue full; retry later", http.StatusTooManyRequests)
+		return
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	step := st.steps
-	if s.cfg.Store != nil {
-		// Log before scoring: a vector the WAL cannot hold is not consumed,
-		// so the on-disk state never lags what the detector has seen.
-		if err := s.cfg.Store.Append(id, uint64(step), req.Vector); err != nil {
-			http.Error(w, "persist: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-		st.walSince++
-		if s.cfg.SnapshotEvery > 0 && st.walSince >= s.cfg.SnapshotEvery {
-			select {
-			case s.snapKick <- id:
-			default: // snapshotter busy; the next trigger catches it
-			}
-		}
-	}
-	st.steps++
-	res, ok := safeStep(st.det, req.Vector)
-	if !ok.ok {
-		if ok.panicked {
-			http.Error(w, "vector shape does not match this stream's detector", http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, http.StatusOK, ObserveResponse{Ready: false, Step: step})
+	if res.Err != nil {
+		http.Error(w, res.Err.Error(), http.StatusInternalServerError)
 		return
 	}
-	st.ready++
-	resp := ObserveResponse{
-		Ready:         true,
-		Score:         res.Score,
-		Nonconformity: res.Nonconformity,
-		FineTuned:     res.FineTuned,
-		Step:          step,
+	if res.BadShape {
+		http.Error(w, "vector shape does not match this stream's detector", http.StatusBadRequest)
+		return
 	}
+	writeJSON(w, http.StatusOK, toObserveResponse(res))
+}
+
+// toObserveResponse maps an ingest result onto the wire format.
+func toObserveResponse(res ingest.Result) ObserveResponse {
+	out := ObserveResponse{Step: int(res.Seq), Dropped: res.Dropped}
+	if !res.Ready {
+		return out
+	}
+	out.Ready = true
+	out.Score = res.Score
+	out.Nonconformity = res.Nonconformity
+	out.FineTuned = res.FineTuned
+	out.Alert = res.Alert
 	// The quantile policy reports +Inf until it has enough scores —
 	// leave the field empty until the threshold is real.
-	resp.Threshold = finiteOrZero(st.th.Threshold())
-	if st.th.Alert(res.Score) {
-		resp.Alert = true
-		st.alerts++
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// stepOutcome distinguishes "warming up" from "panicked on bad input".
-type stepOutcome struct {
-	ok       bool
-	panicked bool
-}
-
-// safeStep runs the detector step, converting dimension-mismatch panics
-// (the detectors' contract for programmer error) into client errors.
-func safeStep(det Stepper, v []float64) (res core.Result, out stepOutcome) {
-	defer func() {
-		if recover() != nil {
-			out = stepOutcome{ok: false, panicked: true}
-		}
-	}()
-	r, ready := det.Step(v)
-	if !ready {
-		return core.Result{}, stepOutcome{}
-	}
-	return r, stepOutcome{ok: true}
+	out.Threshold = finiteOrZero(res.Threshold)
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, id string) {
-	s.mu.Lock()
-	st, ok := s.streams[id]
-	s.mu.Unlock()
+	info, ok := s.reg.StreamStats(id)
 	if !ok {
 		http.Error(w, "unknown stream", http.StatusNotFound)
 		return
 	}
-	st.mu.Lock()
 	resp := StatsResponse{
-		ID: id, Steps: st.steps, Ready: st.ready, Alerts: st.alerts,
-		Threshold: finiteOrZero(st.th.Threshold()),
+		ID: id, Steps: info.Steps, Ready: info.Ready, Alerts: info.Alerts,
+		Queued:    info.QueueLen,
+		Threshold: finiteOrZero(info.Threshold),
 	}
-	if ms, ok := st.det.(MemberStatser); ok {
-		stats := ms.MemberStats()
-		resp.Members = make([]MemberStatus, len(stats))
-		for i, m := range stats {
+	if len(info.Members) > 0 {
+		resp.Members = make([]MemberStatus, len(info.Members))
+		for i, m := range info.Members {
 			resp.Members[i] = MemberStatus{
 				Index:     m.Index,
 				Spec:      m.Label,
@@ -447,8 +317,252 @@ func (s *Server) handleStats(w http.ResponseWriter, id string) {
 			}
 		}
 	}
-	st.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRecord is one NDJSON line of POST /v1/observe.
+type batchRecord struct {
+	Stream string    `json:"stream"`
+	Vector []float64 `json:"vector"`
+}
+
+// BatchResult is one NDJSON line of the batch response, emitted in
+// request order. Seq is the vector's per-stream sequence number;
+// exactly one of the score fields, Shed, Dropped or Error describes the
+// outcome.
+type BatchResult struct {
+	Stream        string  `json:"stream"`
+	Seq           uint64  `json:"seq"`
+	Ready         bool    `json:"ready"`
+	Score         float64 `json:"score"`
+	Nonconformity float64 `json:"nonconformity"`
+	Alert         bool    `json:"alert,omitempty"`
+	Threshold     float64 `json:"threshold,omitempty"`
+	FineTuned     bool    `json:"fine_tuned,omitempty"`
+	// Shed marks a vector rejected by the shed overload policy; retry
+	// after RetryAfterMs.
+	Shed         bool  `json:"shed,omitempty"`
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// Dropped marks a vector the drop-oldest policy discarded unscored.
+	Dropped bool   `json:"dropped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+const (
+	// maxBatchRecords bounds one POST /v1/observe body.
+	maxBatchRecords = 16384
+	// maxRecordBytes bounds one NDJSON line.
+	maxRecordBytes = 1 << 20
+)
+
+// handleBatchObserve is POST /v1/observe: an NDJSON batch of
+// {"stream","vector"} records spanning any number of streams. All
+// records are enqueued before any result is awaited, so consecutive
+// records for one stream coalesce into single dispatcher passes; the
+// response is NDJSON, one result per record, in request order. Records
+// shed by the overload policy are reported inline (the whole batch is
+// never failed for one hot stream).
+func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	type pending struct {
+		out  BatchResult // pre-filled for records that never reached a queue
+		done <-chan ingest.Result
+	}
+	var pendings []pending
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxRecordBytes)
+	truncated := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if len(pendings) >= maxBatchRecords {
+			truncated = true
+			break
+		}
+		var rec batchRecord
+		p := pending{}
+		switch err := json.Unmarshal(line, &rec); {
+		case err != nil:
+			p.out = BatchResult{Error: "bad json: " + err.Error()}
+		case rec.Stream == "":
+			p.out = BatchResult{Error: "missing stream id"}
+		case len(rec.Vector) == 0:
+			p.out = BatchResult{Stream: rec.Stream, Error: "empty vector"}
+		default:
+			ack, err := s.reg.Enqueue(rec.Stream, rec.Vector)
+			switch {
+			case errors.Is(err, ingest.ErrOverload):
+				p.out = BatchResult{
+					Stream: rec.Stream, Shed: true,
+					RetryAfterMs: s.reg.RetryAfter().Milliseconds(),
+				}
+			case err != nil:
+				p.out = BatchResult{Stream: rec.Stream, Error: err.Error()}
+			default:
+				p.out = BatchResult{Stream: rec.Stream, Seq: ack.Seq}
+				p.done = ack.Done
+			}
+		}
+		pendings = append(pendings, p)
+	}
+	if err := sc.Err(); err != nil && len(pendings) == 0 {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(pendings) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, p := range pendings {
+		out := p.out
+		if p.done != nil {
+			out = toBatchResult(out.Stream, <-p.done)
+		}
+		enc.Encode(out)
+	}
+	if truncated {
+		enc.Encode(BatchResult{Error: fmt.Sprintf("batch truncated after %d records", maxBatchRecords)})
+	}
+}
+
+// toBatchResult maps an ingest result onto one batch response line.
+func toBatchResult(stream string, res ingest.Result) BatchResult {
+	out := BatchResult{Stream: stream, Seq: res.Seq}
+	switch {
+	case res.Err != nil:
+		out.Error = res.Err.Error()
+	case res.BadShape:
+		out.Error = "vector shape does not match this stream's detector"
+	case res.Dropped:
+		out.Dropped = true
+	case res.Ready:
+		out.Ready = true
+		out.Score = res.Score
+		out.Nonconformity = res.Nonconformity
+		out.Alert = res.Alert
+		out.FineTuned = res.FineTuned
+		out.Threshold = finiteOrZero(res.Threshold)
+	}
+	return out
+}
+
+// handleMetrics exposes per-stream counters plus the ingestion-layer
+// families in the Prometheus text exposition format, so the daemon plugs
+// into standard scraping setups without any dependency. The stream list
+// is snapshotted first (per-stream locks only); all encoding happens
+// outside any lock. Ensemble-backed streams additionally get one row per
+// member in the streamad_ensemble_member_* families.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rows := s.reg.Streams()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintln(w, "# HELP streamad_steps_total Stream vectors observed per stream.")
+	fmt.Fprintln(w, "# TYPE streamad_steps_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "streamad_steps_total{stream=%q} %d\n", r.ID, r.Steps)
+	}
+	fmt.Fprintln(w, "# HELP streamad_ready_steps_total Scored (post-warmup) steps per stream.")
+	fmt.Fprintln(w, "# TYPE streamad_ready_steps_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "streamad_ready_steps_total{stream=%q} %d\n", r.ID, r.Ready)
+	}
+	fmt.Fprintln(w, "# HELP streamad_alerts_total Threshold crossings per stream.")
+	fmt.Fprintln(w, "# TYPE streamad_alerts_total counter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "streamad_alerts_total{stream=%q} %d\n", r.ID, r.Alerts)
+	}
+	s.writeIngestMetrics(w)
+	hasMembers := false
+	for _, r := range rows {
+		if len(r.Members) > 0 {
+			hasMembers = true
+			break
+		}
+	}
+	if !hasMembers {
+		return
+	}
+	memberRows := func(emit func(r ingest.StreamInfo, m ensemble.MemberStat)) {
+		for _, r := range rows {
+			for _, m := range r.Members {
+				emit(r, m)
+			}
+		}
+	}
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_ready_total Scored steps per ensemble member.")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_ready_total counter")
+	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_ready_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, m.Ready)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_fine_tunes_total Drift-triggered fine-tunes per ensemble member.")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_fine_tunes_total counter")
+	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_fine_tunes_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, m.FineTunes)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_agreement Rolling consensus-agreement counter per ensemble member.")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_agreement gauge")
+	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_agreement{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, m.Agreement)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_weight Normalized aggregation weight per ensemble member (0 when pruned).")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_weight gauge")
+	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		fmt.Fprintf(w, "streamad_ensemble_member_weight{stream=%q,member=\"%d\",spec=%q} %g\n", r.ID, m.Index, m.Label, m.Weight)
+	})
+	fmt.Fprintln(w, "# HELP streamad_ensemble_member_disabled Whether the pruning policy currently excludes the member (0/1).")
+	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_disabled gauge")
+	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		v := 0
+		if m.Disabled {
+			v = 1
+		}
+		fmt.Fprintf(w, "streamad_ensemble_member_disabled{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, v)
+	})
+}
+
+// writeIngestMetrics renders the streamad_ingest_* families from one
+// registry stats snapshot.
+func (s *Server) writeIngestMetrics(w http.ResponseWriter) {
+	st := s.reg.Stats()
+	fmt.Fprintln(w, "# HELP streamad_ingest_shed_total Vectors rejected by the shed overload policy.")
+	fmt.Fprintln(w, "# TYPE streamad_ingest_shed_total counter")
+	fmt.Fprintf(w, "streamad_ingest_shed_total{policy=%q} %d\n", st.Overload.String(), st.ShedTotal)
+	fmt.Fprintln(w, "# HELP streamad_ingest_dropped_total Vectors discarded by the drop-oldest overload policy.")
+	fmt.Fprintln(w, "# TYPE streamad_ingest_dropped_total counter")
+	fmt.Fprintf(w, "streamad_ingest_dropped_total{policy=%q} %d\n", st.Overload.String(), st.DroppedTotal)
+	fmt.Fprintln(w, "# HELP streamad_ingest_evicted_streams_total Idle streams checkpointed and unloaded by the TTL evictor.")
+	fmt.Fprintln(w, "# TYPE streamad_ingest_evicted_streams_total counter")
+	fmt.Fprintf(w, "streamad_ingest_evicted_streams_total %d\n", st.EvictedTotal)
+	fmt.Fprintln(w, "# HELP streamad_ingest_shard_streams Live streams resident per registry shard.")
+	fmt.Fprintln(w, "# TYPE streamad_ingest_shard_streams gauge")
+	for i, sh := range st.PerShard {
+		fmt.Fprintf(w, "streamad_ingest_shard_streams{shard=\"%d\"} %d\n", i, sh.Streams)
+	}
+	fmt.Fprintln(w, "# HELP streamad_ingest_queue_depth Vectors queued per registry shard.")
+	fmt.Fprintln(w, "# TYPE streamad_ingest_queue_depth gauge")
+	for i, sh := range st.PerShard {
+		fmt.Fprintf(w, "streamad_ingest_queue_depth{shard=\"%d\"} %d\n", i, sh.QueueDepth)
+	}
+	fmt.Fprintln(w, "# HELP streamad_ingest_batch_size Vectors coalesced per dispatcher pass.")
+	fmt.Fprintln(w, "# TYPE streamad_ingest_batch_size histogram")
+	for i, bound := range ingest.BatchSizeBounds {
+		fmt.Fprintf(w, "streamad_ingest_batch_size_bucket{le=\"%d\"} %d\n", bound, st.BatchSizeBuckets[i])
+	}
+	fmt.Fprintf(w, "streamad_ingest_batch_size_bucket{le=\"+Inf\"} %d\n", st.Batches)
+	fmt.Fprintf(w, "streamad_ingest_batch_size_sum %d\n", st.BatchSizeSum)
+	fmt.Fprintf(w, "streamad_ingest_batch_size_count %d\n", st.Batches)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

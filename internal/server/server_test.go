@@ -272,7 +272,12 @@ func TestMetricsEndpoint(t *testing.T) {
 func parseSample(line string) (name string, labels map[string]string, err error) {
 	brace := strings.IndexByte(line, '{')
 	if brace < 0 {
-		return "", nil, fmt.Errorf("no label block in %q", line)
+		// Label-less sample: "name value".
+		name, _, ok := strings.Cut(line, " ")
+		if !ok || name == "" {
+			return "", nil, fmt.Errorf("malformed sample %q", line)
+		}
+		return name, map[string]string{}, nil
 	}
 	name = line[:brace]
 	labels = make(map[string]string)
@@ -350,7 +355,7 @@ func TestMetricsExposition(t *testing.T) {
 		}
 		if ty, ok := strings.CutPrefix(line, "# TYPE "); ok {
 			name, kind, _ := strings.Cut(ty, " ")
-			if kind != "counter" && kind != "gauge" {
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
 				t.Errorf("TYPE with unknown kind: %q", line)
 			}
 			types[name] = true
@@ -360,8 +365,19 @@ func TestMetricsExposition(t *testing.T) {
 		if err != nil {
 			t.Fatalf("unparseable sample: %v", err)
 		}
-		if !helps[name] || !types[name] {
+		// Histogram _bucket/_sum/_count samples hang off the family name.
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && types[f] {
+				family = f
+				break
+			}
+		}
+		if !helps[family] || !types[family] {
 			t.Errorf("sample %q precedes its HELP/TYPE pair", line)
+		}
+		if strings.HasPrefix(name, "streamad_ingest_") {
+			continue // ingestion-layer families carry no stream label
 		}
 		stream, ok := labels["stream"]
 		if !ok {
