@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench bench-hotpath bench-smoke
 
 # ci is the fast gate; the race detector runs as its own CI job (make
 # race) so the concurrency suites don't slow the edit loop.
@@ -20,3 +20,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-hotpath regenerates the numbers recorded in BENCH_hotpath.json:
+# per-model Step cost, Fit cost, and serving latency while a fine-tune is
+# in flight (sync vs async).
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetectorStep|BenchmarkStepDuringFineTune|BenchmarkModelFit' -benchmem -benchtime 300x .
+
+# bench-smoke is the CI gate: a handful of iterations of every hot-path
+# benchmark, enough to catch a benchmark that no longer compiles or a
+# kernel that panics, without the cost of stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetectorStep|BenchmarkStepDuringFineTune|BenchmarkModelFit' -benchmem -benchtime 5x .

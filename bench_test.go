@@ -12,14 +12,18 @@ import (
 
 	"streamad"
 
+	"streamad/internal/arima"
+	"streamad/internal/autoenc"
 	"streamad/internal/bench"
 	"streamad/internal/core"
 	"streamad/internal/dataset"
 	"streamad/internal/drift"
+	"streamad/internal/knn"
 	"streamad/internal/metrics"
 	"streamad/internal/nbeats"
 	"streamad/internal/reservoir"
 	"streamad/internal/score"
+	"streamad/internal/usad"
 )
 
 // benchProfile is the scaled-down profile used by the benchmarks.
@@ -175,6 +179,101 @@ func BenchmarkDetectorStep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				det.Step(s.Data[200+(i%300)])
 			}
+		})
+	}
+}
+
+// BenchmarkModelFit measures one fine-tuning epoch per model over a
+// TrainSize×dim training set — exactly the work the serve/train split
+// moves off the scoring goroutine. Run with -benchmem: the Fit path may
+// allocate (it is off the latency-critical path), but its cost here is
+// what a synchronous fine-tune adds to the triggering Step.
+func BenchmarkModelFit(b *testing.B) {
+	const (
+		channels = 3
+		window   = 12
+		rows     = 60
+	)
+	dim := channels * window
+	rng := rand.New(rand.NewSource(9))
+	set := make([][]float64, rows)
+	for i := range set {
+		set[i] = make([]float64, dim)
+		for j := range set[i] {
+			set[i][j] = rng.NormFloat64()
+		}
+	}
+	models := []struct {
+		name string
+		mk   func() (core.Model, error)
+	}{
+		{"arima", func() (core.Model, error) {
+			return arima.New(arima.Config{Lags: window - 2, D: 1, Channels: channels})
+		}},
+		{"ae", func() (core.Model, error) {
+			return autoenc.New(autoenc.Config{Dim: dim, Seed: 1})
+		}},
+		{"usad", func() (core.Model, error) {
+			return usad.New(usad.Config{Dim: dim, Seed: 1})
+		}},
+		{"nbeats", func() (core.Model, error) {
+			return nbeats.New(nbeats.Config{Channels: channels, BackcastRows: window - 1, Seed: 1})
+		}},
+		{"knn", func() (core.Model, error) {
+			return knn.New(knn.Config{Dim: dim})
+		}},
+	}
+	for _, m := range models {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			model, err := m.mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// First Fit grows lazily allocated scratch; time steady state.
+			model.Fit(set)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model.Fit(set)
+			}
+		})
+	}
+}
+
+// BenchmarkStepDuringFineTune measures serving latency while drift keeps
+// triggering fine-tunes (Regular strategy, every 40 vectors). In sync
+// mode every 40th Step pays the full Fit inline; in async mode that Step
+// only clones the model and launches the trainer, scoring continues on
+// the published parameters, so the amortized per-step latency drops by
+// roughly Fit/40. This is the headline serve/train-split number in
+// BENCH_hotpath.json.
+func BenchmarkStepDuringFineTune(b *testing.B) {
+	corpus := dataset.Daphnet(dataset.Config{Length: 600, SeriesCount: 1, Seed: 4})
+	s := corpus.Series[0]
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			det, err := streamad.New(streamad.Config{
+				Model: streamad.ModelAE, Task1: streamad.TaskSlidingWindow, Task2: streamad.TaskRegular,
+				Score: streamad.ScoreLikelihood, RegularInterval: 40,
+				Channels: s.Channels(), Window: 12, TrainSize: 60, WarmupVectors: 100, Seed: 1,
+				AsyncFineTune: mode.async,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, row := range s.Data {
+				det.Step(row)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.Step(s.Data[200+(i%300)])
+			}
+			b.StopTimer()
+			det.WaitFineTune()
 		})
 	}
 }

@@ -41,6 +41,9 @@ type detectorSnapshot struct {
 // re-warmup — and produces scores identical to an uninterrupted run, even
 // through later drift-triggered fine-tunes.
 func (d *Detector) Save() ([]byte, error) {
+	// Drain any in-flight asynchronous fine-tune before snapshotting, so
+	// the core counters and the model blob describe the same moment.
+	d.inner.WaitFineTune()
 	coreBlob, err := d.inner.MarshalBinary()
 	if err != nil {
 		return nil, err

@@ -53,6 +53,7 @@ func main() {
 		train     = flag.Int("m", 200, "training set size")
 		quantile  = flag.Float64("alert-quantile", 0.99, "adaptive alert quantile")
 		seed      = flag.Int64("seed", 1, "random seed")
+		asyncFT   = flag.Bool("async-finetune", false, "fine-tune on a background goroutine (serve/train split): scoring keeps serving the old model while the new one trains")
 
 		stateDir     = flag.String("state-dir", "", "directory for snapshots and WALs (empty = no persistence)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "background checkpoint period (requires -state-dir)")
@@ -73,6 +74,7 @@ func main() {
 	}
 	base := streamad.Config{
 		Channels: *channels, Window: *window, TrainSize: *train, Seed: *seed,
+		AsyncFineTune: *asyncFT,
 	}
 	var (
 		newDetector func(string) (server.Stepper, error)

@@ -65,13 +65,21 @@ type PipelineSpec struct {
 	Task1 Task1
 	Task2 Task2
 	Score ScoreKind
+	// Async requests the serve/train split for this pipeline (the spec
+	// grammar's trailing "+async" token); see Config.AsyncFineTune.
+	Async bool
 }
 
 // String renders the spec in the compact grammar form accepted by
-// ParsePipelineSpec, e.g. "arima+sw+kswin+al".
+// ParsePipelineSpec, e.g. "arima+sw+kswin+al" or
+// "usad+sw+musigma+al+async".
 func (p PipelineSpec) String() string {
-	return specModelName(p.Model) + "+" + specTask1Name(p.Task1) + "+" +
+	s := specModelName(p.Model) + "+" + specTask1Name(p.Task1) + "+" +
 		specTask2Name(p.Task2) + "+" + specScoreName(p.Score)
+	if p.Async {
+		s += "+async"
+	}
+	return s
 }
 
 // EnsembleSpec describes an ensemble: its member pipelines and the
@@ -157,6 +165,7 @@ func NewEnsemble(base Config, spec EnsembleSpec) (*Ensemble, error) {
 	for i, ms := range spec.Members {
 		cfg := base
 		cfg.Model, cfg.Task1, cfg.Task2, cfg.Score = ms.Model, ms.Task1, ms.Task2, ms.Score
+		cfg.AsyncFineTune = base.AsyncFineTune || ms.Async
 		cfg.Seed = seed + int64(i)*memberSeedStride
 		det, err := New(cfg)
 		if err != nil {
@@ -199,6 +208,7 @@ func NewFromSpec(spec string, base Config) (StreamDetector, error) {
 	}
 	cfg := base
 	cfg.Model, cfg.Task1, cfg.Task2, cfg.Score = ps.Model, ps.Task1, ps.Task2, ps.Score
+	cfg.AsyncFineTune = base.AsyncFineTune || ps.Async
 	return New(cfg)
 }
 
@@ -226,6 +236,14 @@ func (e *Ensemble) Steps() int { return e.inner.Steps() }
 // FineTunes returns the total drift-triggered fine-tuning sessions across
 // all members.
 func (e *Ensemble) FineTunes() int { return e.inner.FineTunes() }
+
+// FineTuneStats aggregates the members' serve/train split statistics.
+// Safe from any goroutine.
+func (e *Ensemble) FineTuneStats() FineTuneStats { return e.inner.FineTuneStats() }
+
+// WaitFineTune drains every member's in-flight asynchronous fine-tune.
+// Serialize with Step, like the single-pipeline variant.
+func (e *Ensemble) WaitFineTune() { e.inner.WaitFineTune() }
 
 // MemberStats returns each member's counters, weight and last score.
 func (e *Ensemble) MemberStats() []MemberStat { return e.inner.MemberStats() }

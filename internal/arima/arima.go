@@ -25,9 +25,13 @@ type Model struct {
 	gamma    []float64
 	lr       float64
 	binom    []float64 // signed binomial coefficients for ∇^d
-	// scratch buffers
-	series []float64
-	diffs  []float64
+	// scratch buffers — Predict and step run allocation-free once series
+	// has grown to the window size.
+	series    []float64
+	targetBuf []float64
+	predBuf   []float64
+	lagDiffs  []float64
+	gradBuf   []float64
 }
 
 // Config parameterizes the online ARIMA model.
@@ -60,18 +64,40 @@ func New(cfg Config) (*Model, error) {
 		lr = 0.01
 	}
 	m := &Model{
-		lags:     cfg.Lags,
-		d:        cfg.D,
-		channels: cfg.Channels,
-		gamma:    make([]float64, cfg.Lags),
-		lr:       lr,
-		binom:    signedBinomial(cfg.D),
+		lags:      cfg.Lags,
+		d:         cfg.D,
+		channels:  cfg.Channels,
+		gamma:     make([]float64, cfg.Lags),
+		lr:        lr,
+		binom:     signedBinomial(cfg.D),
+		targetBuf: make([]float64, cfg.Channels),
+		predBuf:   make([]float64, cfg.Channels),
+		lagDiffs:  make([]float64, cfg.Lags),
+		gradBuf:   make([]float64, cfg.Lags),
 	}
 	// Start from a short-memory prior: weight on the most recent lag. This
 	// makes the untrained model a persistence forecaster, which is the
 	// sensible zero-knowledge baseline for streams.
 	m.gamma[0] = 1
 	return m, nil
+}
+
+// CloneModel returns a full-fidelity deep copy of the model for the
+// asynchronous fine-tuning path. The binomial coefficient table is
+// immutable and shared; all scratch is fresh.
+func (m *Model) CloneModel() any {
+	return &Model{
+		lags:      m.lags,
+		d:         m.d,
+		channels:  m.channels,
+		gamma:     append([]float64(nil), m.gamma...),
+		lr:        m.lr,
+		binom:     m.binom,
+		targetBuf: make([]float64, m.channels),
+		predBuf:   make([]float64, m.channels),
+		lagDiffs:  make([]float64, m.lags),
+		gradBuf:   make([]float64, m.lags),
+	}
 }
 
 // WindowRows returns the number of stream rows the model needs per feature
@@ -123,22 +149,17 @@ func (m *Model) forecastChannel(series []float64, lagDiffs []float64) float64 {
 		lagDiffs[i-1] = dv
 		pred += m.gamma[i-1] * dv
 	}
-	// Integration terms: Σ_{i=0..d−1} ∇^i s_{last−1}.
-	cumulative := series // ∇^0
-	buf := make([]float64, len(series))
+	// Integration terms: Σ_{i=0..d−1} ∇^i s_{last−1}. The lag diffs above
+	// only read the original series, so differencing runs in place:
+	// cur[j−1] = cur[j] − cur[j−1] ascending reads each cell before it is
+	// overwritten, and the caller owns series as scratch.
+	cur := series // ∇^0
 	for i := 0; i < m.d; i++ {
-		pred += cumulative[last-1]
-		// Next difference order.
-		next := buf[:len(cumulative)-1]
-		for j := 1; j < len(cumulative); j++ {
-			next[j-1] = cumulative[j] - cumulative[j-1]
+		pred += cur[last-1]
+		for j := 1; j < len(cur); j++ {
+			cur[j-1] = cur[j] - cur[j-1]
 		}
-		cumulative = next
-		buf = make([]float64, len(cumulative))
-	}
-	if m.d == 0 {
-		// Pure AR on the raw series; nothing to integrate.
-		_ = cumulative
+		cur = cur[:len(cur)-1]
 	}
 	return pred
 }
@@ -156,16 +177,17 @@ func (m *Model) extract(x []float64, c int, dst []float64) []float64 {
 
 // Predict implements the framework model contract: given feature vector
 // x ∈ R^{w×N} it returns (target, prediction) where target is the actual
-// final stream vector s_t and prediction is the forecast ŝ_t.
+// final stream vector s_t and prediction is the forecast ŝ_t. Both slices
+// are reused across calls; copy to retain.
 func (m *Model) Predict(x []float64) (target, pred []float64) {
 	w := len(x) / m.channels
 	if w*m.channels != len(x) || w < m.WindowRows() {
 		panic(fmt.Sprintf("arima: feature vector needs ≥%d rows of %d channels, got %d values",
 			m.WindowRows(), m.channels, len(x)))
 	}
-	target = make([]float64, m.channels)
-	pred = make([]float64, m.channels)
-	lagDiffs := make([]float64, m.lags)
+	target = m.targetBuf
+	pred = m.predBuf
+	lagDiffs := m.lagDiffs
 	if cap(m.series) < w {
 		m.series = make([]float64, w)
 	}
@@ -184,8 +206,11 @@ func (m *Model) step(x []float64) {
 	if w < m.WindowRows() {
 		return
 	}
-	lagDiffs := make([]float64, m.lags)
-	grad := make([]float64, m.lags)
+	lagDiffs := m.lagDiffs
+	grad := m.gradBuf
+	for i := range grad {
+		grad[i] = 0
+	}
 	if cap(m.series) < w {
 		m.series = make([]float64, w)
 	}

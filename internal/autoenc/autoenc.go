@@ -23,8 +23,10 @@ type Model struct {
 	opt    nn.Optimizer
 	scaler *nn.Scaler
 	dim    int
+	lr     float64
 	grad   []float64
 	zbuf   []float64
+	ctx    *nn.MLPContext // training pass scratch
 }
 
 // Config parameterizes the autoencoder.
@@ -56,13 +58,38 @@ func New(cfg Config) (*Model, error) {
 		lr = 1e-3
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := nn.NewMLP([]int{cfg.Dim, hidden, cfg.Dim}, nn.Sigmoid{}, nn.Identity{}, rng)
 	return &Model{
-		net:    nn.NewMLP([]int{cfg.Dim, hidden, cfg.Dim}, nn.Sigmoid{}, nn.Identity{}, rng),
+		net:    net,
 		opt:    nn.NewAdam(lr),
 		scaler: nn.NewScaler(cfg.Dim),
 		dim:    cfg.Dim,
+		lr:     lr,
+		grad:   make([]float64, cfg.Dim),
 		zbuf:   make([]float64, cfg.Dim),
+		ctx:    net.NewContext(),
 	}, nil
+}
+
+// CloneModel returns a full-fidelity deep copy — weights, optimizer
+// moments and scaler — for the asynchronous fine-tuning path: the clone
+// trains on a background goroutine while the original keeps scoring.
+func (m *Model) CloneModel() any {
+	net := m.net.Clone()
+	opt := nn.CloneOptimizer(m.opt, m.net.Params(), net.Params())
+	if opt == nil {
+		opt = nn.NewAdam(m.lr)
+	}
+	return &Model{
+		net:    net,
+		opt:    opt,
+		scaler: m.scaler.Clone(),
+		dim:    m.dim,
+		lr:     m.lr,
+		grad:   make([]float64, m.dim),
+		zbuf:   make([]float64, m.dim),
+		ctx:    net.NewContext(),
+	}
 }
 
 // Dim returns the feature-vector length.
@@ -80,19 +107,19 @@ func (m *Model) Predict(x []float64) (target, pred []float64) {
 }
 
 // Fit refreshes the input scaler and runs one reconstruction epoch
-// (per-sample Adam steps) over the training set.
+// (per-sample Adam steps) over the training set. The whole epoch runs in
+// preallocated scratch — zero heap allocations per sample.
 func (m *Model) Fit(set [][]float64) {
 	m.scaler.Fit(set)
+	params := m.net.Params()
 	for _, x := range set {
 		if len(x) != m.dim {
 			continue
 		}
 		z := m.scaler.Transform(x, m.zbuf)
-		out, ctx := m.net.Forward(z)
+		out := m.net.ForwardCtx(m.ctx, z)
 		_, grad := nn.MSELoss(out, z, m.grad)
-		m.grad = grad
-		m.net.Backward(ctx, grad)
-		params := m.net.Params()
+		m.net.BackwardCtx(m.ctx, grad)
 		nn.ClipGrads(params, 5)
 		m.opt.Step(params)
 	}

@@ -51,6 +51,9 @@ type Representer struct {
 	channels int
 	rows     int
 	flat     []float64
+	// primed marks flat as an up-to-date mirror of the ring, enabling the
+	// incremental shift-one-row update instead of a full w-row rebuild.
+	primed bool
 }
 
 // NewRepresenter returns a representation of rows stream vectors of N
@@ -72,9 +75,18 @@ func (r *Representer) Push(s []float64) (x []float64, ok bool) {
 	if !r.win.Full() {
 		return nil, false
 	}
+	if r.primed {
+		// flat already mirrored the previous window: one memmove drops the
+		// oldest row, then only the new row is copied in.
+		n := r.channels
+		copy(r.flat, r.flat[n:])
+		copy(r.flat[(r.rows-1)*n:], s)
+		return r.flat, true
+	}
 	for i := 0; i < r.rows; i++ {
 		copy(r.flat[i*r.channels:(i+1)*r.channels], r.win.At(i))
 	}
+	r.primed = true
 	return r.flat, true
 }
 
@@ -123,6 +135,14 @@ type Config struct {
 	// alert can name the channels that drove it. Self-scoring models
 	// (PCB-iForest, kNN) have no prediction pair to decompose.
 	Attribution bool
+	// AsyncFineTune enables the serve/train split: a drift-triggered
+	// fine-tune clones the model and trains the clone on a background
+	// goroutine over a snapshot of R_train, while scoring continues on
+	// the old parameters; the trained model is adopted at a later Step.
+	// Requires a model implementing Cloner — otherwise fine-tuning
+	// silently stays synchronous. Off by default: synchronous mode is
+	// bit-identical and fully deterministic.
+	AsyncFineTune bool
 }
 
 // Result is the per-time-step output of the Detector.
@@ -140,7 +160,9 @@ type Result struct {
 	Attribution []float64
 }
 
-// Detector runs the streaming anomaly detection loop.
+// Detector runs the streaming anomaly detection loop. Step, Run,
+// WaitFineTune and the state snapshot methods must all be called from a
+// single goroutine; FineTuneStats is safe from any goroutine.
 type Detector struct {
 	cfg        Config
 	predictor  Predictor
@@ -153,6 +175,8 @@ type Detector struct {
 	sanBuf     []float64
 	sanitized  int
 	attrBuf    []float64
+	asyncFT    bool // serve/train split active
+	train      *trainer
 }
 
 // ErrConfig reports an invalid Detector configuration.
@@ -181,11 +205,14 @@ func NewDetector(cfg Config) (*Detector, error) {
 	if cfg.InitEpochs == 0 {
 		cfg.InitEpochs = 1
 	}
-	d := &Detector{cfg: cfg, warmupLeft: cfg.WarmupVectors}
+	d := &Detector{cfg: cfg, warmupLeft: cfg.WarmupVectors, train: newTrainer()}
 	if isSelf && cfg.Measure == nil {
 		d.selfScore = ss
 	} else {
 		d.predictor = pred
+	}
+	if _, ok := cfg.Model.(Cloner); ok && cfg.AsyncFineTune {
+		d.asyncFT = true
 	}
 	return d, nil
 }
@@ -197,26 +224,22 @@ func (d *Detector) sanitize(s []float64) []float64 {
 		d.lastGood = make([]float64, len(s))
 		d.sanBuf = make([]float64, len(s))
 	}
+	// One fused scan repairs into sanBuf while refreshing lastGood; the
+	// clean (overwhelmingly common) case still returns s untouched.
 	dirty := false
-	for _, v := range s {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			dirty = true
-			break
-		}
-	}
-	if !dirty {
-		copy(d.lastGood, s)
-		return s
-	}
-	d.sanitized++
 	for i, v := range s {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dirty = true
 			d.sanBuf[i] = d.lastGood[i]
 		} else {
 			d.sanBuf[i] = v
 			d.lastGood[i] = v
 		}
 	}
+	if !dirty {
+		return s
+	}
+	d.sanitized++
 	return d.sanBuf
 }
 
@@ -229,6 +252,9 @@ func (d *Detector) Sanitized() int { return d.sanitized }
 // Result carries the nonconformity and anomaly scores for this step.
 func (d *Detector) Step(s []float64) (Result, bool) {
 	d.steps++
+	if d.asyncFT {
+		d.adoptTrained()
+	}
 	if d.cfg.Sanitize {
 		s = d.sanitize(s)
 	}
@@ -270,10 +296,7 @@ func (d *Detector) Step(s []float64) (Result, bool) {
 	update := d.cfg.TrainingSet.Observe(x, f)
 	fineTuned := false
 	if d.cfg.Drift.Observe(update, x, d.cfg.TrainingSet) {
-		d.cfg.Model.Fit(d.cfg.TrainingSet.Items())
-		d.cfg.Drift.Reset(d.cfg.TrainingSet)
-		d.fineTunes++
-		fineTuned = true
+		fineTuned = d.fineTune()
 	}
 	return Result{Nonconformity: a, Score: f, FineTuned: fineTuned, Attribution: attribution}, true
 }
@@ -313,8 +336,16 @@ func (d *Detector) attribute(target, pred []float64) []float64 {
 // Steps returns the number of stream vectors consumed.
 func (d *Detector) Steps() int { return d.steps }
 
+// Model returns the model currently serving scores. With asynchronous
+// fine-tuning the model identity changes at adoption steps, so callers
+// snapshotting parameters must use this accessor (after WaitFineTune)
+// rather than a reference captured at build time.
+func (d *Detector) Model() Model { return d.cfg.Model }
+
 // FineTunes returns the number of fine-tuning sessions performed after
-// warmup.
+// warmup. In asynchronous mode it counts adopted models, so a fine-tune
+// still in flight (or finished but not yet adopted) is not included;
+// see FineTuneStats for launch/completion counts.
 func (d *Detector) FineTunes() int { return d.fineTunes }
 
 // WarmedUp reports whether the initial training has completed.

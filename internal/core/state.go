@@ -12,8 +12,12 @@ import (
 func (r *Representer) MarshalBinary() ([]byte, error) { return r.win.MarshalBinary() }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler for the
-// representer; the receiver's geometry must match the snapshot.
-func (r *Representer) UnmarshalBinary(data []byte) error { return r.win.UnmarshalBinary(data) }
+// representer; the receiver's geometry must match the snapshot. The flat
+// mirror is invalidated so the next Push rebuilds it from the ring.
+func (r *Representer) UnmarshalBinary(data []byte) error {
+	r.primed = false
+	return r.win.UnmarshalBinary(data)
+}
 
 // detectorState is the serializable form of the framework loop: the
 // warmup/step counters plus a nested snapshot of every stateful component

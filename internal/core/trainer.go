@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cloner is the optional model capability behind asynchronous
+// fine-tuning: CloneModel returns a full-fidelity deep copy — weights,
+// optimizer state, scalers — that can train on a background goroutine
+// while the original keeps scoring. The returned value must implement
+// Model (and whichever of Predictor/SelfScoring the original does).
+type Cloner interface {
+	CloneModel() any
+}
+
+// FineTuneBuckets are the upper bounds (seconds) of the fine-tune
+// duration histogram in FineTuneStats; an implicit +Inf bucket follows.
+var FineTuneBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// FineTuneStats is a point-in-time snapshot of the detector's
+// fine-tuning activity, safe to call from any goroutine.
+type FineTuneStats struct {
+	// Async reports whether the serve/train split is active (the config
+	// asked for it and the model supports cloning).
+	Async bool
+	// InFlight reports whether a background fine-tune is running now.
+	InFlight bool
+	// Launched counts asynchronous fine-tunes started.
+	Launched int64
+	// Skipped counts drift triggers dropped because a fine-tune was
+	// already in flight.
+	Skipped int64
+	// Completed counts finished fine-tuning epochs, sync and async.
+	Completed int64
+	// LastSeconds and TotalSeconds are the duration of the most recent
+	// fine-tune and the sum over all of them.
+	LastSeconds  float64
+	TotalSeconds float64
+	// Buckets is the duration histogram: Buckets[i] counts fine-tunes
+	// that took ≤ FineTuneBuckets[i] seconds (non-cumulative), with the
+	// final element counting everything slower than the last bound.
+	Buckets []uint64
+}
+
+// trainedModel wraps a freshly fine-tuned model for atomic hand-off from
+// the trainer goroutine to the scoring loop.
+type trainedModel struct {
+	model Model
+}
+
+// trainer holds the serve/train split state: the in-flight flag, the
+// pending trained model awaiting adoption, and the duration metrics.
+// All fields are atomics (or only touched by the Step goroutine) so the
+// background fine-tune never contends with scoring.
+type trainer struct {
+	inFlight   atomic.Int32
+	pending    atomic.Pointer[trainedModel]
+	wg         sync.WaitGroup
+	launched   atomic.Int64
+	skipped    atomic.Int64
+	completed  atomic.Int64
+	lastNanos  atomic.Int64
+	totalNanos atomic.Int64
+	bucketHits []atomic.Uint64 // len(FineTuneBuckets)+1
+}
+
+func newTrainer() *trainer {
+	return &trainer{bucketHits: make([]atomic.Uint64, len(FineTuneBuckets)+1)}
+}
+
+// record accumulates one fine-tune duration into the metrics.
+func (t *trainer) record(d time.Duration) {
+	t.completed.Add(1)
+	t.lastNanos.Store(int64(d))
+	t.totalNanos.Add(int64(d))
+	secs := d.Seconds()
+	i := 0
+	for ; i < len(FineTuneBuckets); i++ {
+		if secs <= FineTuneBuckets[i] {
+			break
+		}
+	}
+	t.bucketHits[i].Add(1)
+}
+
+// fineTune handles a drift trigger. In synchronous mode (the default) it
+// runs the fine-tuning epoch inline, exactly as before. In asynchronous
+// mode it clones the model, snapshots R_train and trains on a background
+// goroutine, publishing the result for adoption at a later Step; scoring
+// continues on the old parameters meanwhile. A trigger that lands while a
+// fine-tune is already in flight is counted and dropped. Returns whether
+// a fine-tune was started (sync: also finished).
+func (d *Detector) fineTune() bool {
+	if !d.asyncFT {
+		start := time.Now()
+		d.cfg.Model.Fit(d.cfg.TrainingSet.Items())
+		d.train.record(time.Since(start))
+		d.cfg.Drift.Reset(d.cfg.TrainingSet)
+		d.fineTunes++
+		return true
+	}
+	if !d.train.inFlight.CompareAndSwap(0, 1) {
+		d.train.skipped.Add(1)
+		d.cfg.Drift.Reset(d.cfg.TrainingSet)
+		return false
+	}
+	clone := d.cfg.Model.(Cloner).CloneModel().(Model)
+	set := snapshotSet(d.cfg.TrainingSet.Items())
+	d.cfg.Drift.Reset(d.cfg.TrainingSet)
+	d.train.launched.Add(1)
+	d.train.wg.Add(1)
+	go func() {
+		defer d.train.wg.Done()
+		start := time.Now()
+		clone.Fit(set)
+		d.train.record(time.Since(start))
+		// Publish before clearing inFlight so a new launch can only start
+		// once its predecessor's result is visible for adoption.
+		d.train.pending.Store(&trainedModel{model: clone})
+		d.train.inFlight.Store(0)
+	}()
+	return true
+}
+
+// adoptTrained swaps in a background-trained model if one is pending.
+// Called at Step entry on the scoring goroutine, so model installation
+// never races with Predict.
+func (d *Detector) adoptTrained() {
+	p := d.train.pending.Swap(nil)
+	if p == nil {
+		return
+	}
+	d.installModel(p.model)
+	d.fineTunes++
+}
+
+// installModel rewires the detector's cached model interfaces.
+func (d *Detector) installModel(m Model) {
+	d.cfg.Model = m
+	if d.selfScore != nil {
+		d.selfScore = m.(SelfScoring)
+	} else {
+		d.predictor = m.(Predictor)
+	}
+}
+
+// WaitFineTune blocks until any in-flight asynchronous fine-tune has
+// finished, then adopts its model immediately. It must be called from the
+// same goroutine that calls Step (the detector's single-writer
+// discipline); after it returns, the detector scores with the newest
+// parameters — checkpointing and the async-vs-sync equivalence tests use
+// it to drain the trainer. A no-op in synchronous mode.
+func (d *Detector) WaitFineTune() {
+	if !d.asyncFT {
+		return
+	}
+	d.train.wg.Wait()
+	d.adoptTrained()
+}
+
+// FineTuneStats returns a snapshot of fine-tuning activity. Unlike most
+// Detector methods it is safe to call from any goroutine.
+func (d *Detector) FineTuneStats() FineTuneStats {
+	st := FineTuneStats{
+		Async:        d.asyncFT,
+		InFlight:     d.train.inFlight.Load() != 0,
+		Launched:     d.train.launched.Load(),
+		Skipped:      d.train.skipped.Load(),
+		Completed:    d.train.completed.Load(),
+		LastSeconds:  float64(d.train.lastNanos.Load()) / 1e9,
+		TotalSeconds: float64(d.train.totalNanos.Load()) / 1e9,
+		Buckets:      make([]uint64, len(d.train.bucketHits)),
+	}
+	for i := range d.train.bucketHits {
+		st.Buckets[i] = d.train.bucketHits[i].Load()
+	}
+	return st
+}
+
+// snapshotSet deep-copies the training set for the background trainer:
+// reservoir implementations reuse row storage in place, so the trainer
+// cannot read the live rows while the stream keeps observing.
+func snapshotSet(items [][]float64) [][]float64 {
+	total := 0
+	for _, it := range items {
+		total += len(it)
+	}
+	backing := make([]float64, 0, total)
+	out := make([][]float64, len(items))
+	for i, it := range items {
+		backing = append(backing, it...)
+		out[i] = backing[len(backing)-len(it):]
+	}
+	return out
+}

@@ -390,6 +390,47 @@ func (e *Ensemble) FineTunes() int {
 	return total
 }
 
+// FineTuneStats aggregates the members' serve/train split statistics:
+// counters, durations and histogram buckets sum across members, the
+// Async/InFlight flags OR together, and LastSeconds is the maximum over
+// members (cross-member recency is unknowable from atomics alone).
+// Members not exposing stats are skipped. Safe from any goroutine.
+func (e *Ensemble) FineTuneStats() core.FineTuneStats {
+	agg := core.FineTuneStats{Buckets: make([]uint64, len(core.FineTuneBuckets)+1)}
+	for _, m := range e.members {
+		fs, ok := m.det.(interface{ FineTuneStats() core.FineTuneStats })
+		if !ok {
+			continue
+		}
+		st := fs.FineTuneStats()
+		agg.Async = agg.Async || st.Async
+		agg.InFlight = agg.InFlight || st.InFlight
+		agg.Launched += st.Launched
+		agg.Skipped += st.Skipped
+		agg.Completed += st.Completed
+		if st.LastSeconds > agg.LastSeconds {
+			agg.LastSeconds = st.LastSeconds
+		}
+		agg.TotalSeconds += st.TotalSeconds
+		for i := range st.Buckets {
+			agg.Buckets[i] += st.Buckets[i]
+		}
+	}
+	return agg
+}
+
+// WaitFineTune drains every member's in-flight asynchronous fine-tune.
+// Like Step it must be serialized with other Step/Wait calls by the
+// caller; the member workers are idle between Steps, so adopting models
+// here cannot race with scoring.
+func (e *Ensemble) WaitFineTune() {
+	for _, m := range e.members {
+		if w, ok := m.det.(interface{ WaitFineTune() }); ok {
+			w.WaitFineTune()
+		}
+	}
+}
+
 // Close stops the member worker goroutines. Stepping a closed ensemble
 // panics. Close is optional — an ensemble that lives for the process
 // lifetime (the server's case) never needs it — and safe to call twice.

@@ -593,6 +593,17 @@ type StreamInfo struct {
 	QueueLen  int
 	Threshold float64
 	Members   []ensemble.MemberStat // ensemble-backed streams only
+	// FineTune carries the detector's serve/train split statistics when
+	// it exposes them (nil otherwise). Read from lock-free atomics, so
+	// the scrape never waits on an in-flight processing pass.
+	FineTune *core.FineTuneStats
+}
+
+// FineTuneStatser is the optional detector capability surfacing
+// fine-tuning statistics (streamad.Detector and streamad.Ensemble both
+// implement it).
+type FineTuneStatser interface {
+	FineTuneStats() core.FineTuneStats
 }
 
 // Streams snapshots every live stream's counters. The per-shard locks
@@ -641,6 +652,10 @@ func (r *Registry) streamInfo(st *stream) StreamInfo {
 	if ms, ok := st.det.(MemberStatser); ok && st.procMu.TryLock() {
 		info.Members = ms.MemberStats()
 		st.procMu.Unlock()
+	}
+	if fs, ok := st.det.(FineTuneStatser); ok {
+		ft := fs.FineTuneStats()
+		info.FineTune = &ft
 	}
 	return info
 }

@@ -21,7 +21,8 @@ type Model struct {
 	k     int
 	dim   int
 	ref   [][]float64
-	scale float64 // median in-set k-NN distance at the last Fit
+	scale float64   // median in-set k-NN distance at the last Fit
+	best  []float64 // reusable top-k scratch for knnDistance
 }
 
 // Config parameterizes the kNN detector.
@@ -50,6 +51,13 @@ func New(cfg Config) (*Model, error) {
 // K returns the neighbor count.
 func (m *Model) K() int { return m.k }
 
+// CloneModel returns a copy for the asynchronous fine-tuning path. The
+// reference rows are immutable between Fits (Fit replaces the whole
+// backing array), so clone and original share them until the next Fit.
+func (m *Model) CloneModel() any {
+	return &Model{k: m.k, dim: m.dim, ref: m.ref, scale: m.scale}
+}
+
 // Fitted reports whether a reference set is loaded.
 func (m *Model) Fitted() bool { return len(m.ref) > 0 }
 
@@ -76,17 +84,23 @@ func (m *Model) knnDistance(x []float64, skip int) float64 {
 	if k < 1 {
 		return 0
 	}
-	// Keep the k smallest squared distances in a small max-"heap" slice —
-	// linear scan with insertion keeps this allocation-free for small k.
-	best := make([]float64, 0, k)
+	// Keep the k smallest squared distances sorted in a reusable scratch
+	// slice; binary insertion in both the fill and steady phases replaces
+	// the old fill-phase full re-sort (O(k log k) per element).
+	if cap(m.best) < k {
+		m.best = make([]float64, 0, k)
+	}
+	best := m.best[:0]
 	for i, r := range m.ref {
 		if i == skip {
 			continue
 		}
 		d := dist2(x, r)
 		if len(best) < k {
-			best = append(best, d)
-			sort.Float64s(best)
+			pos := sort.SearchFloat64s(best, d)
+			best = append(best, 0)
+			copy(best[pos+1:], best[pos:len(best)-1])
+			best[pos] = d
 			continue
 		}
 		if d < best[k-1] {
@@ -95,6 +109,7 @@ func (m *Model) knnDistance(x []float64, skip int) float64 {
 			best[pos] = d
 		}
 	}
+	m.best = best[:0]
 	var sum float64
 	for _, d := range best {
 		sum += math.Sqrt(d)

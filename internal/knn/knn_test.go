@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -121,5 +122,65 @@ func TestKLargerThanSet(t *testing.T) {
 	s := m.NonconformityScore([]float64{1})
 	if s < 0 || s >= 1 {
 		t.Fatalf("k>set score = %v", s)
+	}
+}
+
+// TestFillPhaseOrdering guards the binary-insert fill path: with k larger
+// than the scanned prefix, the fill-phase insertions alone must produce
+// the same neighbor set the steady-state path would.
+func TestFillPhaseOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	set := gauss(rng, 40, 4, 0)
+	m, _ := New(Config{Dim: 4, K: 8})
+	m.Fit(set)
+	q := []float64{0.1, -0.2, 0.3, 0}
+	got := m.knnDistance(q, -1)
+	// Brute-force reference: mean of the 8 smallest distances.
+	var ds []float64
+	for _, r := range m.ref {
+		ds = append(ds, dist2(q, r))
+	}
+	for i := range ds {
+		for j := i + 1; j < len(ds); j++ {
+			if ds[j] < ds[i] {
+				ds[i], ds[j] = ds[j], ds[i]
+			}
+		}
+	}
+	var want float64
+	for i := 0; i < 8; i++ {
+		want += math.Sqrt(ds[i])
+	}
+	want /= 8
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("knnDistance = %v, brute force = %v", got, want)
+	}
+}
+
+// BenchmarkFit is the regression benchmark for the fill-phase re-sort fix:
+// Fit's leave-one-out scale pass dominates and exercises knnDistance on
+// every sampled member.
+func BenchmarkFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	set := gauss(rng, 256, 24, 0)
+	m, _ := New(Config{Dim: 24, K: 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Fit(set)
+	}
+}
+
+// BenchmarkScore measures the steady-state scoring path.
+func BenchmarkScore(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	set := gauss(rng, 256, 24, 0)
+	m, _ := New(Config{Dim: 24, K: 16})
+	m.Fit(set)
+	q := gauss(rng, 1, 24, 0.5)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NonconformityScore(q)
 	}
 }

@@ -57,14 +57,15 @@ type block struct {
 	kind   BasisKind
 }
 
-type blockCtx struct {
-	stackCtx  *nn.MLPContext
-	thetaBCtx []float64
-	thetaFCtx []float64
-	basisBCtx []float64
-	basisFCtx []float64
-	thetaB    []float64
-	thetaF    []float64
+// blockScratch holds one block's preallocated forward/backward state:
+// the FC-stack context, the expansion coefficients (which double as the
+// basis layers' backward inputs) and their gradient buffers. h aliases
+// the stack context's output.
+type blockScratch struct {
+	stackCtx         *nn.MLPContext
+	h                []float64
+	thetaB, thetaF   []float64
+	gThetaB, gThetaF []float64
 }
 
 // Model is an N-BEATS forecaster over N-channel streams. Inputs are
@@ -77,7 +78,62 @@ type Model struct {
 	channels int
 	backLen  int // w−1 rows of history
 	inDim    int // backLen·channels
-	zbuf     []float64
+	lr       float64
+
+	// Preallocated hot-path scratch (see initScratch): the whole
+	// forward/backward pass runs without heap allocations.
+	scratch     []*blockScratch
+	zbuf        []float64
+	xbuf        []float64 // in-place residual x_l
+	backBuf     []float64 // current block's backcast
+	foreBuf     []float64 // accumulated forecast
+	targetBuf   []float64
+	gForecast   []float64
+	gx, negGx   []float64
+	gh, ghB     []float64
+	paramsCache []*nn.Param
+}
+
+// initScratch builds the reusable buffers; it must run after blocks are
+// assembled.
+func (m *Model) initScratch() {
+	outDim := m.channels
+	m.zbuf = make([]float64, m.inDim+outDim)
+	m.xbuf = make([]float64, m.inDim)
+	m.backBuf = make([]float64, m.inDim)
+	m.foreBuf = make([]float64, outDim)
+	m.targetBuf = make([]float64, outDim)
+	m.gForecast = make([]float64, outDim)
+	m.gx = make([]float64, m.inDim)
+	m.negGx = make([]float64, m.inDim)
+	m.scratch = make([]*blockScratch, len(m.blocks))
+	hidden := 0
+	for i, b := range m.blocks {
+		theta := b.thetaB.Out
+		m.scratch[i] = &blockScratch{
+			stackCtx: b.stack.NewContext(),
+			thetaB:   make([]float64, theta),
+			thetaF:   make([]float64, theta),
+			gThetaB:  make([]float64, theta),
+			gThetaF:  make([]float64, theta),
+		}
+		if h := b.stack.OutDim(); h > hidden {
+			hidden = h
+		}
+	}
+	m.gh = make([]float64, hidden)
+	m.ghB = make([]float64, hidden)
+	var ps []*nn.Param
+	for _, b := range m.blocks {
+		ps = append(ps, b.stack.Params()...)
+		ps = append(ps, b.thetaB.Params()...)
+		ps = append(ps, b.thetaF.Params()...)
+		if b.kind == GenericBasis {
+			ps = append(ps, b.basisB.Params()...)
+			ps = append(ps, b.basisF.Params()...)
+		}
+	}
+	m.paramsCache = ps
 }
 
 // Config parameterizes N-BEATS.
@@ -159,7 +215,7 @@ func newWithBases(cfg Config, bases []BasisKind) (*Model, error) {
 		channels: cfg.Channels,
 		backLen:  cfg.BackcastRows,
 		inDim:    inDim,
-		zbuf:     make([]float64, inDim+outDim),
+		lr:       lr,
 	}
 	for _, kind := range bases {
 		b := &block{
@@ -181,7 +237,43 @@ func newWithBases(cfg Config, bases []BasisKind) (*Model, error) {
 		}
 		m.blocks = append(m.blocks, b)
 	}
+	m.initScratch()
 	return m, nil
+}
+
+// CloneModel returns a full-fidelity deep copy — weights, Adam moments
+// and scaler — for the asynchronous fine-tuning path. Fixed basis
+// matrices are immutable and shared.
+func (m *Model) CloneModel() any {
+	c := &Model{
+		scaler:   m.scaler.Clone(),
+		channels: m.channels,
+		backLen:  m.backLen,
+		inDim:    m.inDim,
+		lr:       m.lr,
+	}
+	for _, b := range m.blocks {
+		nb := &block{
+			stack:  b.stack.Clone(),
+			thetaB: b.thetaB.Clone(),
+			thetaF: b.thetaF.Clone(),
+			fixedB: b.fixedB,
+			fixedF: b.fixedF,
+			kind:   b.kind,
+		}
+		if b.kind == GenericBasis {
+			nb.basisB = b.basisB.Clone()
+			nb.basisF = b.basisF.Clone()
+		}
+		c.blocks = append(c.blocks, nb)
+	}
+	c.initScratch()
+	if opt := nn.CloneOptimizer(m.opt, m.params(), c.params()); opt != nil {
+		c.opt = opt
+	} else {
+		c.opt = nn.NewAdam(m.lr)
+	}
+	return c
 }
 
 // polyBasis builds fixed polynomial backcast basis rows: output element
@@ -246,44 +338,47 @@ func (m *Model) BackcastRows() int { return m.backLen }
 // Blocks returns the number of blocks.
 func (m *Model) Blocks() int { return len(m.blocks) }
 
-// forward runs the residual stack, returning the total forecast and the
-// per-block contexts plus residual inputs needed for backprop.
-func (m *Model) forward(input []float64) (forecast []float64, ctxs []*blockCtx, residuals [][]float64) {
-	forecast = make([]float64, m.channels)
-	x := make([]float64, len(input))
+// forward runs the residual stack through the preallocated scratch,
+// returning the total forecast (aliasing foreBuf, valid until the next
+// forward). Residual inputs live in the stack contexts; the in-place
+// x_{l+1} = x_l − x̂_l update runs in xbuf.
+func (m *Model) forward(input []float64) []float64 {
+	forecast := m.foreBuf
+	for i := range forecast {
+		forecast[i] = 0
+	}
+	x := m.xbuf
 	copy(x, input)
-	for _, b := range m.blocks {
-		ctx := &blockCtx{}
-		h, sc := b.stack.Forward(x)
-		ctx.stackCtx = sc
-		var back, fore []float64
-		ctx.thetaB, ctx.thetaBCtx = b.thetaB.Forward(h)
-		ctx.thetaF, ctx.thetaFCtx = b.thetaF.Forward(h)
+	// gForecast is free during forward passes, so it doubles as the
+	// per-block forecast buffer before accumulation.
+	fore := m.gForecast
+	for l, b := range m.blocks {
+		sc := m.scratch[l]
+		sc.h = b.stack.ForwardCtx(sc.stackCtx, x)
+		b.thetaB.ForwardInto(sc.h, sc.thetaB)
+		b.thetaF.ForwardInto(sc.h, sc.thetaF)
+		back := m.backBuf
 		switch b.kind {
 		case GenericBasis:
-			back, ctx.basisBCtx = b.basisB.Forward(ctx.thetaB)
-			fore, ctx.basisFCtx = b.basisF.Forward(ctx.thetaF)
+			b.basisB.ForwardInto(sc.thetaB, back)
+			b.basisF.ForwardInto(sc.thetaF, fore)
 		default:
-			back = applyFixed(b.fixedB, ctx.thetaB)
-			fore = applyFixed(b.fixedF, ctx.thetaF)
+			applyFixedInto(b.fixedB, sc.thetaB, back)
+			applyFixedInto(b.fixedF, sc.thetaF, fore)
 		}
-		residuals = append(residuals, x)
-		nx := make([]float64, len(x))
 		for i := range x {
-			nx[i] = x[i] - back[i]
+			x[i] -= back[i]
 		}
 		for i := range forecast {
 			forecast[i] += fore[i]
 		}
-		ctxs = append(ctxs, ctx)
-		x = nx
 	}
-	return forecast, ctxs, residuals
+	return forecast
 }
 
-// applyFixed computes basis·θ for a fixed basis matrix stored row-wise.
-func applyFixed(basis [][]float64, theta []float64) []float64 {
-	out := make([]float64, len(basis))
+// applyFixedInto computes basis·θ for a fixed basis matrix stored
+// row-wise, writing into out.
+func applyFixedInto(basis [][]float64, theta, out []float64) {
 	for i, row := range basis {
 		var s float64
 		for k, v := range row {
@@ -291,15 +386,14 @@ func applyFixed(basis [][]float64, theta []float64) []float64 {
 		}
 		out[i] = s
 	}
-	return out
 }
 
-// fixedGrad backpropagates gradOut through a fixed basis: ∂L/∂θ = Bᵀ·g.
-func fixedGrad(basis [][]float64, gradOut []float64) []float64 {
-	if len(basis) == 0 {
-		return nil
+// fixedGradInto backpropagates gradOut through a fixed basis into g:
+// ∂L/∂θ = Bᵀ·gradOut.
+func fixedGradInto(basis [][]float64, gradOut, g []float64) {
+	for i := range g {
+		g[i] = 0
 	}
-	g := make([]float64, len(basis[0]))
 	for i, row := range basis {
 		go_ := gradOut[i]
 		if go_ == 0 {
@@ -309,7 +403,6 @@ func fixedGrad(basis [][]float64, gradOut []float64) []float64 {
 			g[k] += v * go_
 		}
 	}
-	return g
 }
 
 // Predict implements the framework model contract: given the feature
@@ -322,9 +415,9 @@ func (m *Model) Predict(x []float64) (target, pred []float64) {
 			m.backLen+1, m.channels, len(x)))
 	}
 	z := m.scaler.Transform(x, m.zbuf)
-	target = make([]float64, m.channels)
+	target = m.targetBuf
 	copy(target, x[m.backLen*m.channels:])
-	pred, _, _ = m.forward(z[:m.inDim])
+	pred = m.forward(z[:m.inDim])
 	return target, m.scaler.InverseSub(pred, pred, m.inDim)
 }
 
@@ -340,46 +433,51 @@ func (m *Model) Fit(set [][]float64) {
 	}
 }
 
-// step trains on one standardized feature vector.
+// step trains on one standardized feature vector, allocation-free: the
+// block inputs live in the stack contexts, all gradients run through the
+// model's preallocated buffers.
 func (m *Model) step(x []float64) {
 	input := x[:m.inDim]
 	target := x[m.inDim:]
-	forecast, ctxs, _ := m.forward(input)
-	_, gForecast := nn.MSELoss(forecast, target, nil)
+	forecast := m.forward(input)
+	_, gForecast := nn.MSELoss(forecast, target, m.gForecast)
 
 	// Backward through the residual topology: every block's forecast head
 	// receives gForecast; the residual gradient g_x flows backwards through
 	// x_{l+1} = x_l − x̂_l, so the block's backcast head receives −g_x and
 	// the block's FC stack accumulates both head gradients; g_x for block
 	// l−1 is g_x plus the stack's input gradient.
-	gx := make([]float64, m.inDim) // gradient wrt x after the last block: 0
+	gx := m.gx // gradient wrt x after the last block: 0
+	for i := range gx {
+		gx[i] = 0
+	}
 	for l := len(m.blocks) - 1; l >= 0; l-- {
 		b := m.blocks[l]
-		ctx := ctxs[l]
+		sc := m.scratch[l]
 		// Forecast head.
-		var gThetaF []float64
 		if b.kind == GenericBasis {
-			gThetaF = b.basisF.Backward(ctx.basisFCtx, gForecast)
+			b.basisF.BackwardInto(sc.thetaF, gForecast, sc.gThetaF)
 		} else {
-			gThetaF = fixedGrad(b.fixedF, gForecast)
+			fixedGradInto(b.fixedF, gForecast, sc.gThetaF)
 		}
 		// Backcast head: x̂_l enters as −g_x.
-		negGx := make([]float64, len(gx))
+		negGx := m.negGx
 		for i, v := range gx {
 			negGx[i] = -v
 		}
-		var gThetaB []float64
 		if b.kind == GenericBasis {
-			gThetaB = b.basisB.Backward(ctx.basisBCtx, negGx)
+			b.basisB.BackwardInto(sc.thetaB, negGx, sc.gThetaB)
 		} else {
-			gThetaB = fixedGrad(b.fixedB, negGx)
+			fixedGradInto(b.fixedB, negGx, sc.gThetaB)
 		}
-		gh := b.thetaF.Backward(ctx.thetaFCtx, gThetaF)
-		ghB := b.thetaB.Backward(ctx.thetaBCtx, gThetaB)
+		hidden := b.stack.OutDim()
+		gh, ghB := m.gh[:hidden], m.ghB[:hidden]
+		b.thetaF.BackwardInto(sc.h, sc.gThetaF, gh)
+		b.thetaB.BackwardInto(sc.h, sc.gThetaB, ghB)
 		for i := range gh {
 			gh[i] += ghB[i]
 		}
-		gIn := b.stack.Backward(ctx.stackCtx, gh)
+		gIn := b.stack.BackwardCtx(sc.stackCtx, gh)
 		// Residual pass-through: x_{l+1} = x_l − x̂_l contributes g_x to the
 		// previous block's input gradient as well.
 		for i := range gx {
@@ -392,15 +490,8 @@ func (m *Model) step(x []float64) {
 }
 
 func (m *Model) params() []*nn.Param {
-	var ps []*nn.Param
-	for _, b := range m.blocks {
-		ps = append(ps, b.stack.Params()...)
-		ps = append(ps, b.thetaB.Params()...)
-		ps = append(ps, b.thetaF.Params()...)
-		if b.kind == GenericBasis {
-			ps = append(ps, b.basisB.Params()...)
-			ps = append(ps, b.basisF.Params()...)
-		}
+	if m.paramsCache == nil {
+		m.initScratch()
 	}
-	return ps
+	return m.paramsCache
 }

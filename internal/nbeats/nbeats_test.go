@@ -70,7 +70,7 @@ func TestGradientCheckTinyModel(t *testing.T) {
 	input, target := z[:4], z[4:]
 
 	loss := func() float64 {
-		forecast, _, _ := m.forward(input)
+		forecast := m.forward(input)
 		var l float64
 		for i := range forecast {
 			d := forecast[i] - target[i]

@@ -24,10 +24,20 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 // Forward computes y = W·x + b and returns y along with the context
 // (a copy of x) needed by Backward.
 func (l *Linear) Forward(x []float64) (y, ctx []float64) {
-	if len(x) != l.In {
+	y = make([]float64, l.Out)
+	l.ForwardInto(x, y)
+	ctx = make([]float64, l.In)
+	copy(ctx, x)
+	return y, ctx
+}
+
+// ForwardInto computes y = W·x + b into the caller-provided y (length
+// Out). Unlike Forward it keeps no context: the caller must preserve x
+// itself until the matching BackwardInto. y must not alias x.
+func (l *Linear) ForwardInto(x, y []float64) {
+	if len(x) != l.In || len(y) != l.Out {
 		panic("nn: Linear input dimension mismatch")
 	}
-	y = make([]float64, l.Out)
 	for o := 0; o < l.Out; o++ {
 		row := l.Weight.W[o*l.In : (o+1)*l.In]
 		s := l.Bias.W[o]
@@ -36,19 +46,27 @@ func (l *Linear) Forward(x []float64) (y, ctx []float64) {
 		}
 		y[o] = s
 	}
-	ctx = make([]float64, l.In)
-	copy(ctx, x)
-	return y, ctx
 }
 
 // Backward accumulates parameter gradients given the upstream gradient
 // gradOut = ∂L/∂y and the context from the matching Forward call, and
 // returns ∂L/∂x.
 func (l *Linear) Backward(ctx, gradOut []float64) []float64 {
-	if len(gradOut) != l.Out || len(ctx) != l.In {
+	gradIn := make([]float64, l.In)
+	l.BackwardInto(ctx, gradOut, gradIn)
+	return gradIn
+}
+
+// BackwardInto accumulates parameter gradients and writes ∂L/∂x into the
+// caller-provided gradIn (length In, overwritten). x is the input of the
+// matching ForwardInto call. gradIn must not alias x or gradOut.
+func (l *Linear) BackwardInto(x, gradOut, gradIn []float64) {
+	if len(gradOut) != l.Out || len(x) != l.In || len(gradIn) != l.In {
 		panic("nn: Linear backward dimension mismatch")
 	}
-	gradIn := make([]float64, l.In)
+	for i := range gradIn {
+		gradIn[i] = 0
+	}
 	for o, g := range gradOut {
 		if g == 0 {
 			continue
@@ -56,12 +74,11 @@ func (l *Linear) Backward(ctx, gradOut []float64) []float64 {
 		wrow := l.Weight.W[o*l.In : (o+1)*l.In]
 		grow := l.Weight.G[o*l.In : (o+1)*l.In]
 		l.Bias.G[o] += g
-		for i, xv := range ctx {
+		for i, xv := range x {
 			grow[i] += g * xv
 			gradIn[i] += g * wrow[i]
 		}
 	}
-	return gradIn
 }
 
 // Params returns the layer's parameters.

@@ -5,16 +5,27 @@ import "math/rand"
 // MLP is a stack of fully connected layers with per-layer activations.
 // It exposes a context-passing forward/backward pair so the same MLP can
 // run several forward passes before backpropagating each of them (as the
-// USAD encoder does).
+// USAD encoder does). Contexts own all per-pass scratch — see the package
+// comment for the buffer-ownership rules.
 type MLP struct {
 	Layers []*Linear
 	Acts   []Activation
+
+	params  []*Param    // cached flat parameter list
+	scratch *MLPContext // Predict's private context
 }
 
-// MLPContext carries the per-layer contexts of one forward pass.
+// MLPContext carries the per-layer buffers of one forward pass: the
+// input copy, pre- and post-activation vectors, the activation backward
+// contexts and the per-layer input-gradient buffers. A context is
+// allocated once (NewContext) and reused across passes; one context
+// serves exactly one in-flight forward→backward pair at a time.
 type MLPContext struct {
-	linCtx [][]float64
-	actCtx [][]float64
+	in0    []float64   // copy of the pass input
+	linOut [][]float64 // pre-activation per layer
+	actOut [][]float64 // post-activation per layer (= next layer's input)
+	actCtx [][]float64 // activation backward contexts (alias lin/actOut)
+	grad   [][]float64 // input-gradient buffer per layer
 }
 
 // NewMLP builds an MLP with the given layer sizes, e.g. sizes [8,4,8]
@@ -33,50 +44,111 @@ func NewMLP(sizes []int, act, outAct Activation, rng *rand.Rand) *MLP {
 			m.Acts = append(m.Acts, outAct)
 		}
 	}
+	m.finish()
 	return m
 }
 
-// Forward runs a forward pass and returns the output with its context.
-func (m *MLP) Forward(x []float64) ([]float64, *MLPContext) {
-	ctx := &MLPContext{
-		linCtx: make([][]float64, len(m.Layers)),
-		actCtx: make([][]float64, len(m.Layers)),
+// finish builds the cached parameter list and the Predict scratch
+// context. It must be called after Layers/Acts are assembled.
+func (m *MLP) finish() {
+	// Exact capacity: callers append to the returned Params slice, and a
+	// full backing array forces those appends to copy instead of writing
+	// into the cache.
+	ps := make([]*Param, 0, len(m.Layers)*2)
+	for _, l := range m.Layers {
+		ps = append(ps, l.Weight, l.Bias)
 	}
-	h := x
-	for i, l := range m.Layers {
-		var lc, ac []float64
-		h, lc = l.Forward(h)
-		h, ac = m.Acts[i].Forward(h)
-		ctx.linCtx[i] = lc
-		ctx.actCtx[i] = ac
-	}
-	return h, ctx
+	m.params = ps
+	m.scratch = m.NewContext()
 }
 
-// Backward backpropagates gradOut through the pass recorded in ctx,
-// accumulating parameter gradients, and returns the input gradient.
-func (m *MLP) Backward(ctx *MLPContext, gradOut []float64) []float64 {
+// NewContext allocates a reusable forward/backward context sized for
+// this MLP. Training code that needs several simultaneous passes over
+// one parameter set (USAD's shared encoder) allocates one context per
+// in-flight pass.
+func (m *MLP) NewContext() *MLPContext {
+	ctx := &MLPContext{
+		in0:    make([]float64, m.Layers[0].In),
+		linOut: make([][]float64, len(m.Layers)),
+		actOut: make([][]float64, len(m.Layers)),
+		actCtx: make([][]float64, len(m.Layers)),
+		grad:   make([][]float64, len(m.Layers)),
+	}
+	for i, l := range m.Layers {
+		ctx.linOut[i] = make([]float64, l.Out)
+		ctx.actOut[i] = make([]float64, l.Out)
+		ctx.grad[i] = make([]float64, l.In)
+	}
+	return ctx
+}
+
+// ForwardCtx runs a forward pass through ctx, allocation-free, and
+// returns the output — which aliases ctx's last activation buffer and
+// stays valid until the context's next forward pass.
+func (m *MLP) ForwardCtx(ctx *MLPContext, x []float64) []float64 {
+	if len(x) != m.Layers[0].In {
+		panic("nn: MLP input dimension mismatch")
+	}
+	copy(ctx.in0, x)
+	in := ctx.in0
+	for i, l := range m.Layers {
+		l.ForwardInto(in, ctx.linOut[i])
+		ctx.actCtx[i] = m.Acts[i].ForwardInto(ctx.linOut[i], ctx.actOut[i])
+		in = ctx.actOut[i]
+	}
+	return in
+}
+
+// BackwardCtx backpropagates gradOut through the pass recorded in ctx,
+// accumulating parameter gradients, and returns the input gradient —
+// which aliases ctx's first gradient buffer. gradOut is consumed: the
+// output layer's activation backward runs in place on it.
+func (m *MLP) BackwardCtx(ctx *MLPContext, gradOut []float64) []float64 {
 	g := gradOut
 	for i := len(m.Layers) - 1; i >= 0; i-- {
-		g = m.Acts[i].Backward(ctx.actCtx[i], g)
-		g = m.Layers[i].Backward(ctx.linCtx[i], g)
+		m.Acts[i].BackwardInto(ctx.actCtx[i], g, g)
+		in := ctx.in0
+		if i > 0 {
+			in = ctx.actOut[i-1]
+		}
+		m.Layers[i].BackwardInto(in, g, ctx.grad[i])
+		g = ctx.grad[i]
 	}
 	return g
 }
 
-// Predict is Forward without keeping the context.
-func (m *MLP) Predict(x []float64) []float64 {
-	y, _ := m.Forward(x)
-	return y
+// Forward runs a forward pass through a freshly allocated context and
+// returns the output with that context. Hot paths should hold a context
+// and call ForwardCtx instead.
+func (m *MLP) Forward(x []float64) ([]float64, *MLPContext) {
+	ctx := m.NewContext()
+	return m.ForwardCtx(ctx, x), ctx
 }
 
-// Params returns all parameters of the MLP.
-func (m *MLP) Params() []*Param {
-	var ps []*Param
-	for _, l := range m.Layers {
-		ps = append(ps, l.Params()...)
+// Backward backpropagates gradOut through the pass recorded in ctx,
+// accumulating parameter gradients, and returns the input gradient.
+// Like BackwardCtx it consumes gradOut in place.
+func (m *MLP) Backward(ctx *MLPContext, gradOut []float64) []float64 {
+	return m.BackwardCtx(ctx, gradOut)
+}
+
+// Predict is an allocation-free forward pass through the MLP's private
+// scratch context. The returned slice is reused by the next Predict or
+// ForwardCtx-on-scratch call; copy it to retain.
+func (m *MLP) Predict(x []float64) []float64 {
+	if m.scratch == nil {
+		m.finish()
 	}
-	return ps
+	return m.ForwardCtx(m.scratch, x)
+}
+
+// Params returns all parameters of the MLP. The returned slice is cached
+// and shared; callers must not modify it.
+func (m *MLP) Params() []*Param {
+	if m.params == nil {
+		m.finish()
+	}
+	return m.params
 }
 
 // ZeroGrad clears all parameter gradients.

@@ -4,6 +4,31 @@
 // Backward pairs so one parameter set can participate in several forward
 // passes per step — required by USAD's shared encoder and N-BEATS' double
 // residual stacks.
+//
+// # Buffer ownership
+//
+// The hot-path API is allocation-free and follows three rules:
+//
+//  1. Callers own pass state. An MLPContext (from MLP.NewContext) holds
+//     every buffer one forward→backward pair needs; it is reused across
+//     passes and must serve only one in-flight pass at a time. Code that
+//     overlaps several passes of one parameter set (USAD's encoder runs
+//     twice before backprop) holds one context per pass. MLP.Predict
+//     uses the MLP's private scratch context, so its result is only
+//     valid until the next Predict on the same MLP.
+//
+//  2. Into-variants write into caller buffers and alias instead of
+//     copying. Linear.ForwardInto keeps no input copy — the caller
+//     preserves x until BackwardInto. Activation contexts alias the
+//     pre- or post-activation buffer (ReLU: the input, so its output
+//     buffer must not alias it). MLP.BackwardCtx consumes gradOut in
+//     place, and its returned gradient aliases the context.
+//
+//  3. Returned slices from Params, ForwardCtx, BackwardCtx and Predict
+//     alias internal state — never retain them across calls or mutate
+//     Params' slice. MSELoss writes into the grad buffer the caller
+//     passes (allocating only when it is nil); optimizers keep their
+//     moment state keyed by *Param and allocate it on first use only.
 package nn
 
 import (

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"streamad/internal/core"
 	"streamad/internal/ensemble"
 	"streamad/internal/ingest"
 	"streamad/internal/persist"
@@ -192,13 +193,26 @@ type MemberStatus struct {
 // ensemble-backed streams; Threshold is omitted while the alert policy
 // still reports a non-finite boundary (see finiteOrZero).
 type StatsResponse struct {
-	ID        string         `json:"id"`
-	Steps     int            `json:"steps"`
-	Ready     int            `json:"ready_steps"`
-	Alerts    int            `json:"alerts"`
-	Queued    int            `json:"queued,omitempty"`
-	Threshold float64        `json:"threshold,omitempty"`
-	Members   []MemberStatus `json:"members,omitempty"`
+	ID        string          `json:"id"`
+	Steps     int             `json:"steps"`
+	Ready     int             `json:"ready_steps"`
+	Alerts    int             `json:"alerts"`
+	Queued    int             `json:"queued,omitempty"`
+	Threshold float64         `json:"threshold,omitempty"`
+	Members   []MemberStatus  `json:"members,omitempty"`
+	FineTune  *FineTuneStatus `json:"fine_tune,omitempty"`
+}
+
+// FineTuneStatus is the serve/train split section of StatsResponse:
+// fine-tuning mode, in-flight state and duration accounting.
+type FineTuneStatus struct {
+	Mode         string  `json:"mode"` // "sync" or "async"
+	InFlight     bool    `json:"in_flight,omitempty"`
+	Launched     int64   `json:"launched,omitempty"`
+	Skipped      int64   `json:"skipped,omitempty"`
+	Completed    int64   `json:"completed"`
+	LastSeconds  float64 `json:"last_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
 }
 
 // finiteOrZero zeroes non-finite values before JSON encoding:
@@ -315,6 +329,21 @@ func (s *Server) handleStats(w http.ResponseWriter, id string) {
 				Disabled:  m.Disabled,
 				LastScore: finiteOrZero(m.LastScore),
 			}
+		}
+	}
+	if ft := info.FineTune; ft != nil {
+		mode := "sync"
+		if ft.Async {
+			mode = "async"
+		}
+		resp.FineTune = &FineTuneStatus{
+			Mode:         mode,
+			InFlight:     ft.InFlight,
+			Launched:     ft.Launched,
+			Skipped:      ft.Skipped,
+			Completed:    ft.Completed,
+			LastSeconds:  ft.LastSeconds,
+			TotalSeconds: ft.TotalSeconds,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -483,6 +512,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "streamad_alerts_total{stream=%q} %d\n", r.ID, r.Alerts)
 	}
+	writeFineTuneMetrics(w, rows)
 	s.writeIngestMetrics(w)
 	hasMembers := false
 	for _, r := range rows {
@@ -530,6 +560,60 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "streamad_ensemble_member_disabled{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, v)
 	})
+}
+
+// writeFineTuneMetrics renders the serve/train split families for every
+// stream whose detector exposes fine-tune statistics: an in-flight gauge
+// and the fine-tune duration histogram (cumulative buckets, Prometheus
+// convention).
+func writeFineTuneMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
+	any := false
+	for _, r := range rows {
+		if r.FineTune != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w, "# HELP streamad_finetune_inflight Whether a background fine-tune is running (0/1; always 0 in sync mode).")
+	fmt.Fprintln(w, "# TYPE streamad_finetune_inflight gauge")
+	for _, r := range rows {
+		if r.FineTune == nil {
+			continue
+		}
+		v := 0
+		if r.FineTune.InFlight {
+			v = 1
+		}
+		fmt.Fprintf(w, "streamad_finetune_inflight{stream=%q} %d\n", r.ID, v)
+	}
+	fmt.Fprintln(w, "# HELP streamad_finetune_skipped_total Drift triggers dropped because a fine-tune was already in flight.")
+	fmt.Fprintln(w, "# TYPE streamad_finetune_skipped_total counter")
+	for _, r := range rows {
+		if r.FineTune == nil {
+			continue
+		}
+		fmt.Fprintf(w, "streamad_finetune_skipped_total{stream=%q} %d\n", r.ID, r.FineTune.Skipped)
+	}
+	fmt.Fprintln(w, "# HELP streamad_finetune_seconds Fine-tuning epoch duration.")
+	fmt.Fprintln(w, "# TYPE streamad_finetune_seconds histogram")
+	for _, r := range rows {
+		ft := r.FineTune
+		if ft == nil {
+			continue
+		}
+		var cum uint64
+		for i, bound := range core.FineTuneBuckets {
+			cum += ft.Buckets[i]
+			fmt.Fprintf(w, "streamad_finetune_seconds_bucket{stream=%q,le=\"%g\"} %d\n", r.ID, bound, cum)
+		}
+		cum += ft.Buckets[len(core.FineTuneBuckets)]
+		fmt.Fprintf(w, "streamad_finetune_seconds_bucket{stream=%q,le=\"+Inf\"} %d\n", r.ID, cum)
+		fmt.Fprintf(w, "streamad_finetune_seconds_sum{stream=%q} %g\n", r.ID, ft.TotalSeconds)
+		fmt.Fprintf(w, "streamad_finetune_seconds_count{stream=%q} %d\n", r.ID, ft.Completed)
+	}
 }
 
 // writeIngestMetrics renders the streamad_ingest_* families from one

@@ -35,11 +35,38 @@ type Model struct {
 	scaler *nn.MinMaxScaler
 	dim    int
 	latent int
+	lr     float64
 	epoch  int // adversarial schedule counter n
 	zbuf   []float64
 	// Alpha/Beta weight the two reconstruction errors in the inference
 	// score ½·(α·R₁ + β·R_both); defaults 0.5/0.5.
 	Alpha, Beta float64
+
+	// Preallocated training scratch: the adversarial steps run up to two
+	// concurrent passes through E and D₂, so each in-flight pass gets its
+	// own context; g1..g3 are the loss-gradient buffers and params1/2 the
+	// cached per-objective parameter lists.
+	encCtxA, encCtxB   *nn.MLPContext
+	dec1Ctx            *nn.MLPContext
+	dec2CtxA, dec2CtxB *nn.MLPContext
+	g1, g2, g3         []float64
+	outBuf             []float64
+	params1, params2   []*nn.Param
+}
+
+// initScratch builds the reusable training/inference buffers; it must run
+// after enc/dec1/dec2 are in place.
+func (m *Model) initScratch() {
+	m.encCtxA, m.encCtxB = m.enc.NewContext(), m.enc.NewContext()
+	m.dec1Ctx = m.dec1.NewContext()
+	m.dec2CtxA, m.dec2CtxB = m.dec2.NewContext(), m.dec2.NewContext()
+	m.g1 = make([]float64, m.dim)
+	m.g2 = make([]float64, m.dim)
+	m.g3 = make([]float64, m.dim)
+	m.outBuf = make([]float64, m.dim)
+	m.zbuf = make([]float64, m.dim)
+	m.params1 = append(append([]*nn.Param(nil), m.enc.Params()...), m.dec1.Params()...)
+	m.params2 = append(append([]*nn.Param(nil), m.enc.Params()...), m.dec2.Params()...)
 }
 
 // Config parameterizes USAD.
@@ -75,7 +102,7 @@ func New(cfg Config) (*Model, error) {
 	h1, h2 := mid(d, z), mid2(d, z)
 	encSizes := []int{d, h1, h2, z}
 	decSizes := []int{z, h2, h1, d}
-	return &Model{
+	m := &Model{
 		enc:    nn.NewMLP(encSizes, nn.ReLU{}, nn.ReLU{}, rng),
 		dec1:   nn.NewMLP(decSizes, nn.ReLU{}, nn.Sigmoid{}, rng),
 		dec2:   nn.NewMLP(decSizes, nn.ReLU{}, nn.Sigmoid{}, rng),
@@ -84,10 +111,12 @@ func New(cfg Config) (*Model, error) {
 		scaler: nn.NewMinMaxScaler(d),
 		dim:    d,
 		latent: z,
-		zbuf:   make([]float64, d),
+		lr:     lr,
 		Alpha:  0.5,
 		Beta:   0.5,
-	}, nil
+	}
+	m.initScratch()
+	return m, nil
 }
 
 // mid and mid2 pick intermediate layer widths between dim and latent.
@@ -112,20 +141,40 @@ func mid2(d, z int) int {
 // intended as a frozen "before fine-tuning" snapshot (Figure 1); if it is
 // trained further it starts with fresh Adam state.
 func (m *Model) Clone() *Model {
-	return &Model{
+	c := &Model{
 		enc:    m.enc.Clone(),
 		dec1:   m.dec1.Clone(),
 		dec2:   m.dec2.Clone(),
-		opt1:   nn.NewAdam(1e-3),
-		opt2:   nn.NewAdam(1e-3),
+		opt1:   nn.NewAdam(m.lr),
+		opt2:   nn.NewAdam(m.lr),
 		scaler: m.scaler.Clone(),
 		dim:    m.dim,
 		latent: m.latent,
+		lr:     m.lr,
 		epoch:  m.epoch,
-		zbuf:   make([]float64, m.dim),
 		Alpha:  m.Alpha,
 		Beta:   m.Beta,
 	}
+	c.initScratch()
+	return c
+}
+
+// CloneModel returns a full-fidelity deep copy — weights, both
+// optimizers' moment estimates, normalization and the adversarial
+// schedule — for the asynchronous fine-tuning path. Unlike Clone, a
+// CloneModel copy continues the exact training trajectory the original
+// would have followed.
+func (m *Model) CloneModel() any {
+	c := m.Clone()
+	oldAll := append(append(append([]*nn.Param(nil), m.enc.Params()...), m.dec1.Params()...), m.dec2.Params()...)
+	newAll := append(append(append([]*nn.Param(nil), c.enc.Params()...), c.dec1.Params()...), c.dec2.Params()...)
+	if opt := nn.CloneOptimizer(m.opt1, oldAll, newAll); opt != nil {
+		c.opt1 = opt
+	}
+	if opt := nn.CloneOptimizer(m.opt2, oldAll, newAll); opt != nil {
+		c.opt2 = opt
+	}
+	return c
 }
 
 // Dim returns the feature-vector length.
@@ -155,7 +204,7 @@ func (m *Model) Predict(x []float64) (target, pred []float64) {
 	z := m.scaler.Transform(x, m.zbuf)
 	w1 := m.ae1(z)
 	w3 := m.dec2.Predict(m.enc.Predict(w1))
-	out := make([]float64, m.dim)
+	out := m.outBuf
 	for i := range out {
 		out[i] = m.Alpha*w1[i] + m.Beta*w3[i]
 	}
@@ -191,37 +240,37 @@ func (m *Model) Fit(set [][]float64) {
 }
 
 // stepAE1 minimizes L_AE1 = wRec·R₁ + wAdv·R_both over (E, D₁). Gradients
-// flow through D₂/E on the R_both path but only E and D₁ are stepped.
+// flow through D₂/E on the R_both path but only E and D₁ are stepped. The
+// encoder runs two passes, each through its own preallocated context.
 func (m *Model) stepAE1(x []float64, wRec, wAdv float64) {
 	// Forward: z = E(x); w1 = D1(z); z3 = E(w1); w3 = D2(z3).
-	z, encCtx := m.enc.Forward(x)
-	w1, dec1Ctx := m.dec1.Forward(z)
-	z3, encCtx3 := m.enc.Forward(w1)
-	w3, dec2Ctx3 := m.dec2.Forward(z3)
+	z := m.enc.ForwardCtx(m.encCtxA, x)
+	w1 := m.dec1.ForwardCtx(m.dec1Ctx, z)
+	z3 := m.enc.ForwardCtx(m.encCtxB, w1)
+	w3 := m.dec2.ForwardCtx(m.dec2CtxA, z3)
 
 	// R₁ gradient path.
-	_, g1 := nn.MSELoss(w1, x, nil)
+	_, g1 := nn.MSELoss(w1, x, m.g1)
 	for i := range g1 {
 		g1[i] *= wRec
 	}
 	// R_both gradient path (through D₂ and the second E pass into w1).
-	_, g3 := nn.MSELoss(w3, x, nil)
+	_, g3 := nn.MSELoss(w3, x, m.g3)
 	for i := range g3 {
 		g3[i] *= wAdv
 	}
-	gz3 := m.dec2.Backward(dec2Ctx3, g3)
-	gw1FromBoth := m.enc.Backward(encCtx3, gz3)
+	gz3 := m.dec2.BackwardCtx(m.dec2CtxA, g3)
+	gw1FromBoth := m.enc.BackwardCtx(m.encCtxB, gz3)
 	// Total gradient into w1 combines both paths, then flows through D₁, E.
 	for i := range g1 {
 		g1[i] += gw1FromBoth[i]
 	}
-	gz := m.dec1.Backward(dec1Ctx, g1)
-	m.enc.Backward(encCtx, gz)
+	gz := m.dec1.BackwardCtx(m.dec1Ctx, g1)
+	m.enc.BackwardCtx(m.encCtxA, gz)
 
 	// Step only E and D₁; discard gradients parked on D₂.
-	params := append(m.enc.Params(), m.dec1.Params()...)
-	nn.ClipGrads(params, 5)
-	m.opt1.Step(params)
+	nn.ClipGrads(m.params1, 5)
+	m.opt1.Step(m.params1)
 	m.dec2.ZeroGrad()
 }
 
@@ -230,30 +279,29 @@ func (m *Model) stepAE1(x []float64, wRec, wAdv float64) {
 func (m *Model) stepAE2(x []float64, wRec, wAdv float64) {
 	// Forward: z = E(x); w2 = D2(z); w1 = AE1(x) (constant); z3 = E(w1);
 	// w3 = D2(z3).
-	z, encCtx := m.enc.Forward(x)
-	w2, dec2Ctx := m.dec2.Forward(z)
+	z := m.enc.ForwardCtx(m.encCtxA, x)
+	w2 := m.dec2.ForwardCtx(m.dec2CtxA, z)
 	w1 := m.ae1(x)
-	z3, encCtx3 := m.enc.Forward(w1)
-	w3, dec2Ctx3 := m.dec2.Forward(z3)
+	z3 := m.enc.ForwardCtx(m.encCtxB, w1)
+	w3 := m.dec2.ForwardCtx(m.dec2CtxB, z3)
 
 	// R₂ path (positive weight).
-	_, g2 := nn.MSELoss(w2, x, nil)
+	_, g2 := nn.MSELoss(w2, x, m.g2)
 	for i := range g2 {
 		g2[i] *= wRec
 	}
-	gz := m.dec2.Backward(dec2Ctx, g2)
-	m.enc.Backward(encCtx, gz)
+	gz := m.dec2.BackwardCtx(m.dec2CtxA, g2)
+	m.enc.BackwardCtx(m.encCtxA, gz)
 
 	// R_both path (negative weight: D₂ learns to amplify the error).
-	_, g3 := nn.MSELoss(w3, x, nil)
+	_, g3 := nn.MSELoss(w3, x, m.g3)
 	for i := range g3 {
 		g3[i] *= -wAdv
 	}
-	gz3 := m.dec2.Backward(dec2Ctx3, g3)
-	m.enc.Backward(encCtx3, gz3) // stops here: w1 is constant
+	gz3 := m.dec2.BackwardCtx(m.dec2CtxB, g3)
+	m.enc.BackwardCtx(m.encCtxB, gz3) // stops here: w1 is constant
 
-	params := append(m.enc.Params(), m.dec2.Params()...)
-	nn.ClipGrads(params, 5)
-	m.opt2.Step(params)
+	nn.ClipGrads(m.params2, 5)
+	m.opt2.Step(m.params2)
 	m.dec1.ZeroGrad()
 }

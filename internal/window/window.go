@@ -90,6 +90,7 @@ type VecRing struct {
 	buf   [][]float64
 	head  int
 	count int
+	evict []float64 // reusable eviction-copy scratch
 }
 
 // NewVecRing returns a ring holding up to capacity vectors of length dim.
@@ -130,13 +131,15 @@ func (r *VecRing) Push(x []float64) (evicted []float64, wasFull bool) {
 		return nil, false
 	}
 	slot := r.buf[r.head]
-	// The caller sees the pre-overwrite contents: swap via a scratch-free
-	// trick is impossible without a copy, so report a copy of the evictee.
-	ev := make([]float64, r.dim)
-	copy(ev, slot)
+	// The caller sees the pre-overwrite contents; a single reusable
+	// scratch keeps the steady-state push allocation-free.
+	if r.evict == nil {
+		r.evict = make([]float64, r.dim)
+	}
+	copy(r.evict, slot)
 	copy(slot, x)
 	r.head = (r.head + 1) % len(r.buf)
-	return ev, true
+	return r.evict, true
 }
 
 // At returns the i-th vector counted from the oldest (0 = oldest). The

@@ -168,20 +168,25 @@ func specScoreName(s ScoreKind) string {
 }
 
 // ParsePipelineSpec parses a compact pipeline spec of the form
-// "model+task1+task2[+score]" — e.g. "arima+sw+kswin" or
-// "usad+ares+regular+avg". Each part accepts the same names as the
-// corresponding Parse* function. When the score part is omitted it
-// defaults to the anomaly likelihood, the paper's strongest scoring
-// function.
+// "model+task1+task2[+score][+async]" — e.g. "arima+sw+kswin",
+// "usad+ares+regular+avg" or "ae+sw+kswin+al+async". Each part accepts
+// the same names as the corresponding Parse* function. When the score
+// part is omitted it defaults to the anomaly likelihood, the paper's
+// strongest scoring function; a trailing "async" token enables the
+// serve/train split for this pipeline.
 func ParsePipelineSpec(s string) (PipelineSpec, error) {
 	parts := strings.Split(strings.TrimSpace(s), "+")
-	if len(parts) < 3 || len(parts) > 4 {
-		return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: want model+task1+task2[+score]", s)
-	}
 	for i := range parts {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
 	spec := PipelineSpec{Score: ScoreLikelihood}
+	if n := len(parts); n >= 4 && n <= 5 && strings.EqualFold(parts[n-1], "async") {
+		spec.Async = true
+		parts = parts[:n-1]
+	}
+	if len(parts) < 3 || len(parts) > 4 {
+		return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: want model+task1+task2[+score][+async]", s)
+	}
 	var err error
 	if spec.Model, err = ParseModelKind(parts[0]); err != nil {
 		return PipelineSpec{}, fmt.Errorf("streamad: pipeline spec %q: %w", s, err)

@@ -226,6 +226,14 @@ type Config struct {
 	// per step (Result.Attribution), so alerts can name the channels that
 	// drove them. Only available for predictor models.
 	Attribution bool
+	// AsyncFineTune enables the serve/train split: drift-triggered
+	// fine-tunes clone the model and train on a background goroutine over
+	// a snapshot of the training set while scoring continues on the old
+	// parameters; the trained model is swapped in at a later step. Only
+	// models supporting cloning (all but PCB-iForest and VAR) go async;
+	// others silently stay synchronous. Off by default — synchronous
+	// fine-tuning is bit-for-bit deterministic.
+	AsyncFineTune bool
 	// Seed drives every random component (default 1).
 	Seed int64
 	// LR overrides the model learning rate (0 = model default).
@@ -300,7 +308,6 @@ func (c *Config) fillDefaults() error {
 // Detector is a fully assembled streaming anomaly detector.
 type Detector struct {
 	inner *core.Detector
-	model core.Model
 	cfg   Config
 	// src drives the Task 1 strategies' random draws; counting them makes
 	// the RNG position part of the Save/Load checkpoint.
@@ -309,6 +316,13 @@ type Detector struct {
 
 // Result re-exports the per-step output of the framework.
 type Result = core.Result
+
+// FineTuneStats re-exports the fine-tuning activity snapshot.
+type FineTuneStats = core.FineTuneStats
+
+// FineTuneBuckets re-exports the duration histogram bucket bounds
+// (seconds) used by FineTuneStats.
+var FineTuneBuckets = core.FineTuneBuckets
 
 // New builds a detector for the given configuration.
 func New(cfg Config) (*Detector, error) {
@@ -383,11 +397,12 @@ func New(cfg Config) (*Detector, error) {
 		PreTrained:    cfg.PreTrained,
 		Sanitize:      cfg.Sanitize,
 		Attribution:   cfg.Attribution,
+		AsyncFineTune: cfg.AsyncFineTune,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{inner: inner, model: model, cfg: cfg, src: src}, nil
+	return &Detector{inner: inner, cfg: cfg, src: src}, nil
 }
 
 func buildModel(cfg Config) (core.Model, error) {
@@ -452,6 +467,17 @@ func (d *Detector) Run(series [][]float64) (scores []float64, valid []bool) {
 // FineTunes returns the number of drift-triggered fine-tuning sessions.
 func (d *Detector) FineTunes() int { return d.inner.FineTunes() }
 
+// FineTuneStats returns a snapshot of fine-tuning activity — mode,
+// in-flight state, counters and the duration histogram. Safe to call from
+// any goroutine.
+func (d *Detector) FineTuneStats() core.FineTuneStats { return d.inner.FineTuneStats() }
+
+// WaitFineTune blocks until any in-flight asynchronous fine-tune has
+// finished and its model has been adopted. Call it from the stepping
+// goroutine before SaveModel, or in tests that compare async to sync
+// scores. A no-op in synchronous mode.
+func (d *Detector) WaitFineTune() { d.inner.WaitFineTune() }
+
 // WarmedUp reports whether the initial training completed.
 func (d *Detector) WarmedUp() bool { return d.inner.WarmedUp() }
 
@@ -466,8 +492,11 @@ func (d *Detector) Config() Config { return d.cfg }
 // (weights, coefficients, forests, normalization). Window and reservoir
 // state are not included: a restored detector refills its representation
 // window from the live stream, which takes w steps.
+// Any in-flight asynchronous fine-tune is drained first, so the snapshot
+// always holds the newest adopted parameters.
 func (d *Detector) SaveModel() ([]byte, error) {
-	m, ok := d.model.(encoding.BinaryMarshaler)
+	d.inner.WaitFineTune()
+	m, ok := d.inner.Model().(encoding.BinaryMarshaler)
 	if !ok {
 		return nil, fmt.Errorf("streamad: %v does not support model snapshots", d.cfg.Model)
 	}
@@ -478,7 +507,8 @@ func (d *Detector) SaveModel() ([]byte, error) {
 // detector's model. The detector must have been built with an identical
 // model configuration (kind, Window, Channels).
 func (d *Detector) LoadModel(data []byte) error {
-	m, ok := d.model.(encoding.BinaryUnmarshaler)
+	d.inner.WaitFineTune()
+	m, ok := d.inner.Model().(encoding.BinaryUnmarshaler)
 	if !ok {
 		return fmt.Errorf("streamad: %v does not support model snapshots", d.cfg.Model)
 	}
