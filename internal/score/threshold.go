@@ -45,6 +45,7 @@ type QuantileThresholder struct {
 	dn      [5]float64 // position increments
 	heights [5]float64
 	count   int
+	dropped int
 	init    []float64
 }
 
@@ -57,8 +58,15 @@ func NewQuantileThresholder(q float64) *QuantileThresholder {
 	return &QuantileThresholder{q: q, init: make([]float64, 0, 5)}
 }
 
-// observe feeds one value into the P² estimator.
+// observe feeds one value into the P² estimator. Non-finite values are
+// discarded: a single NaN folded into the marker heights would poison
+// the quantile estimate permanently (every comparison against NaN is
+// false, so the markers never move again and alerts never fire).
 func (p *QuantileThresholder) observe(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		p.dropped++
+		return
+	}
 	p.count++
 	if len(p.init) < 5 {
 		p.init = append(p.init, x)
@@ -139,6 +147,11 @@ func (p *QuantileThresholder) Alert(f float64) bool {
 	}
 	return f > th
 }
+
+// Dropped returns how many non-finite scores the estimator discarded
+// since construction (or restore — the counter is diagnostic and not
+// part of the checkpoint).
+func (p *QuantileThresholder) Dropped() int { return p.dropped }
 
 // Threshold implements Thresholder; +Inf until five scores have arrived.
 func (p *QuantileThresholder) Threshold() float64 {

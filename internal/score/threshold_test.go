@@ -108,3 +108,56 @@ func TestQuantileThresholderPanicsOnBadQ(t *testing.T) {
 		}()
 	}
 }
+
+// TestQuantileThresholderSurvivesNonFinite is the regression test for a
+// latent bug surfaced by the floatsafe analyzer review: a NaN (or ±Inf)
+// score fed to Alert used to flow straight into the P² marker heights.
+// Every later comparison against the poisoned markers is false, so the
+// estimator froze and the thresholder never alerted again. Non-finite
+// observations must be dropped, leaving the estimate finite and live.
+func TestQuantileThresholderSurvivesNonFinite(t *testing.T) {
+	p := NewQuantileThresholder(0.9)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		p.Alert(rng.Float64())
+	}
+	before := p.Threshold()
+	if math.IsNaN(before) || math.IsInf(before, 0) {
+		t.Fatalf("threshold not finite before injection: %v", before)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.NaN()} {
+		p.Alert(bad)
+	}
+	if got := p.Dropped(); got != 4 {
+		t.Fatalf("Dropped() = %d, want 4", got)
+	}
+	if th := p.Threshold(); math.IsNaN(th) || math.IsInf(th, 0) {
+		t.Fatalf("threshold poisoned by non-finite scores: %v", th)
+	}
+	for i := 0; i < 200; i++ {
+		p.Alert(rng.Float64())
+	}
+	if th := p.Threshold(); math.IsNaN(th) || math.IsInf(th, 0) || th <= 0 || th >= 1 {
+		t.Fatalf("threshold did not keep tracking after injection: %v", th)
+	}
+	if !p.Alert(10) {
+		t.Fatal("outlier after non-finite injection must still alert")
+	}
+}
+
+// TestQuantileThresholderNonFiniteDuringColdStart covers the init phase:
+// a NaN among the first five observations used to be sorted into the
+// marker seed, corrupting every marker height from the start.
+func TestQuantileThresholderNonFiniteDuringColdStart(t *testing.T) {
+	p := NewQuantileThresholder(0.9)
+	vals := []float64{0.1, math.NaN(), 0.2, math.Inf(1), 0.3, 0.4, 0.5}
+	for _, v := range vals {
+		p.Alert(v)
+	}
+	if th := p.Threshold(); math.IsNaN(th) || math.IsInf(th, 0) {
+		t.Fatalf("cold-start markers poisoned: %v", th)
+	}
+	if !p.Alert(10) {
+		t.Fatal("outlier must alert once five finite scores have seeded the markers")
+	}
+}
