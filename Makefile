@@ -1,16 +1,45 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-hotpath bench-smoke
+.PHONY: ci build vet test race bench bench-hotpath bench-smoke lint fmtcheck staticcheck vulncheck
 
 # ci is the fast gate; the race detector runs as its own CI job (make
 # race) so the concurrency suites don't slow the edit loop.
-ci: vet build test
+ci: fmtcheck vet lint build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own analyzer suite (cmd/streamadlint: hotalloc,
+# detrand, floatsafe, lockdiscipline, ctxgoroutine) over every package,
+# then staticcheck and govulncheck when they are on PATH (CI installs
+# pinned versions; locally they are optional extras).
+lint:
+	$(GO) run ./cmd/streamadlint .
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (runs pinned in CI)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (runs pinned in CI)"; \
+	fi
+
+# fmtcheck fails (listing the offenders) when any file needs gofmt.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+staticcheck:
+	staticcheck ./...
+
+vulncheck:
+	govulncheck ./...
 
 test:
 	$(GO) test ./...

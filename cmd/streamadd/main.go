@@ -40,6 +40,7 @@ import (
 	"streamad/internal/server"
 )
 
+//streamad:lifecycle — process entrypoint; the serve goroutine is joined by graceful Shutdown.
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")

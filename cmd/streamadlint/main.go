@@ -1,0 +1,162 @@
+// Command streamadlint runs the repo's custom analyzer suite
+// (internal/lint) in two modes:
+//
+// Standalone, over the whole module:
+//
+//	streamadlint [-analyzers hotalloc,detrand] [dir]
+//
+// dir defaults to the current directory; streamadlint ascends to the
+// enclosing go.mod and checks every package in the module. Exit status
+// is 2 when any diagnostic is reported.
+//
+// As a vet tool, per compilation unit:
+//
+//	go vet -vettool=$(which streamadlint) ./...
+//
+// In this mode the go command drives streamadlint through the vet
+// protocol: a -V=full version handshake, a -flags capability query, and
+// then one invocation per package with a JSON config file argument
+// naming the sources and the export data of every dependency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"streamad/internal/lint"
+)
+
+// version participates in the go command's tool-ID handshake (-V=full);
+// bump it when analyzer behaviour changes so cached vet results are
+// invalidated.
+const version = "streamad-lint-1"
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// The go command probes the tool before using it: -V=full must print
+	// a "name version id" line, -flags a JSON description of the flags
+	// the tool accepts (both documented in cmd/go/internal/vet).
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		fmt.Printf("%s version %s\n", progname, version)
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println(`[{"Name":"analyzers","Bool":false,"Usage":"comma-separated subset of analyzers to run (default: all)"},{"Name":"list","Bool":true,"Usage":"list the analyzer catalogue and exit"}]`)
+		return
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	analyzersFlag := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	listFlag := fs.Bool("list", false, "list the analyzer catalogue and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-analyzers names] [-list] [dir | unit.cfg]\n", progname)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitCheck(rest[0], selected))
+	}
+	dir := "."
+	if len(rest) > 0 {
+		dir = rest[0]
+	}
+	os.Exit(standalone(dir, selected))
+}
+
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	if names == "" {
+		return lint.All(), nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// standalone checks every package of the module enclosing dir.
+func standalone(dir string, analyzers []*lint.Analyzer) int {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	module, err := lint.ModulePath(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	loader := lint.NewLoader(root, module)
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		diags, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}
+
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("streamadlint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"streamad"
+	"streamad/internal/randstate"
 )
 
 func main() {
@@ -39,7 +40,7 @@ func main() {
 
 	// Synthetic stream: correlated sinusoids with a burst anomaly at
 	// t ∈ [700, 720).
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(randstate.NewCountedSource(2))
 	const steps = 900
 	flagged := 0
 	for t := 0; t < steps; t++ {

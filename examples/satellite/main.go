@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"streamad"
+	"streamad/internal/randstate"
 )
 
 const (
@@ -74,7 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(randstate.NewCountedSource(3))
 	var (
 		fineTuneSteps []int
 		alerts        []int

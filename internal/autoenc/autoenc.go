@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"streamad/internal/nn"
+	"streamad/internal/randstate"
 )
 
 // Model is the 2-layer reconstruction autoencoder. Inputs are
@@ -57,7 +58,7 @@ func New(cfg Config) (*Model, error) {
 	if lr == 0 {
 		lr = 1e-3
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(randstate.NewCountedSource(cfg.Seed))
 	net := nn.NewMLP([]int{cfg.Dim, hidden, cfg.Dim}, nn.Sigmoid{}, nn.Identity{}, rng)
 	return &Model{
 		net:    net,
@@ -97,8 +98,11 @@ func (m *Model) Dim() int { return m.dim }
 
 // Predict implements the framework model contract: target is the feature
 // vector itself, prediction is its reconstruction in the original space.
+//
+//streamad:hotpath
 func (m *Model) Predict(x []float64) (target, pred []float64) {
 	if len(x) != m.dim {
+		//streamad:ignore hotalloc panic message on shape violation only
 		panic(fmt.Sprintf("autoenc: expected %d values, got %d", m.dim, len(x)))
 	}
 	z := m.scaler.Transform(x, m.zbuf)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"streamad/internal/drift"
+	"streamad/internal/randstate"
 	"streamad/internal/reservoir"
 )
 
@@ -25,7 +26,7 @@ type OpRow struct {
 // window stream and reports the average per-step operation counts,
 // reproducing Table II's comparison for the given (N, m, w).
 func OpCountExperiment(channels, repWin, trainSize, steps int, seed int64) []OpRow {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(randstate.NewCountedSource(seed))
 	dim := channels * repWin
 
 	mkStream := func() [][]float64 {

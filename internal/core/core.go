@@ -70,6 +70,8 @@ func NewRepresenter(rows, channels int) *Representer {
 // Push adds stream vector s and returns the current feature vector
 // (row-major, oldest row first) once w vectors have accumulated. The
 // returned slice is reused across calls; copy it to retain.
+//
+//streamad:hotpath
 func (r *Representer) Push(s []float64) (x []float64, ok bool) {
 	r.win.Push(s)
 	if !r.win.Full() {
@@ -250,6 +252,8 @@ func (d *Detector) Sanitized() int { return d.sanitized }
 // Step consumes the next stream vector s_t. ok is false while the detector
 // is still filling its representation window or warming up; once true, the
 // Result carries the nonconformity and anomaly scores for this step.
+//
+//streamad:hotpath
 func (d *Detector) Step(s []float64) (Result, bool) {
 	d.steps++
 	if d.asyncFT {

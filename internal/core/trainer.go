@@ -92,6 +92,8 @@ func (t *trainer) record(d time.Duration) {
 // continues on the old parameters meanwhile. A trigger that lands while a
 // fine-tune is already in flight is counted and dropped. Returns whether
 // a fine-tune was started (sync: also finished).
+//
+//streamad:lifecycle — the async trainer goroutine is joined by WaitFineTune/adoption.
 func (d *Detector) fineTune() bool {
 	if !d.asyncFT {
 		start := time.Now()

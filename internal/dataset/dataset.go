@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"streamad/internal/randstate"
 )
 
 // Series is one labelled multivariate time series.
@@ -212,7 +214,7 @@ func generate(spec corpusSpec, cfg Config) *Corpus {
 	if cfg.Length <= 0 || cfg.SeriesCount <= 0 {
 		panic("dataset: Length and SeriesCount must be positive")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(randstate.NewCountedSource(cfg.Seed))
 	corpus := &Corpus{Name: spec.name}
 	for si := 0; si < cfg.SeriesCount; si++ {
 		series := generateSeries(spec, cfg, si, rng)

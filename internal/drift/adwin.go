@@ -44,6 +44,9 @@ func NewADWIN(delta float64) *ADWIN {
 
 // summarize reduces a feature vector to the scalar ADWIN tracks.
 func summarize(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
 	var s float64
 	for _, v := range x {
 		s += v

@@ -41,15 +41,15 @@ func (r *Regular) UnmarshalBinary(data []byte) error {
 // muSigmaState is the serializable form of the μ/σ-Change detector,
 // including the Welford accumulator over all training-set elements.
 type muSigmaState struct {
-	Dim       int
-	Mean      []float64
-	RefMean   []float64
-	RefStd    float64
-	HasRef    bool
-	ElemN     int
-	ElemMean  float64
-	ElemM2    float64
-	Ops       OpCounts
+	Dim      int
+	Mean     []float64
+	RefMean  []float64
+	RefStd   float64
+	HasRef   bool
+	ElemN    int
+	ElemMean float64
+	ElemM2   float64
+	Ops      OpCounts
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.

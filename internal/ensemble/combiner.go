@@ -100,6 +100,9 @@ func trimCount(n int) int {
 }
 
 func mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
 	var sum float64
 	for _, v := range values {
 		sum += v

@@ -140,6 +140,8 @@ type Ensemble struct {
 
 // New validates the configuration, starts one worker goroutine per member
 // and returns the Ensemble.
+//
+//streamad:lifecycle — member loops exit on input-channel close; Close waits for each.
 func New(cfg Config) (*Ensemble, error) {
 	if len(cfg.Members) < 2 {
 		return nil, fmt.Errorf("ensemble: need at least 2 members, got %d", len(cfg.Members))

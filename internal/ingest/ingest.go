@@ -147,6 +147,7 @@ type Registry struct {
 // to it. The shard lock guards only membership (lookup, create, evict);
 // scoring never holds it.
 type shard struct {
+	//streamad:membership — guards lookup/create/evict only; never held across a detector pass.
 	mu      sync.Mutex
 	streams map[string]*stream
 }
@@ -218,6 +219,8 @@ type Ack struct {
 }
 
 // New validates the configuration and returns a running Registry.
+//
+//streamad:lifecycle — owns the snapshotter and evictor goroutines; Close joins them.
 func New(cfg Config) (*Registry, error) {
 	if cfg.NewDetector == nil {
 		return nil, fmt.Errorf("ingest: NewDetector is required")
@@ -346,6 +349,8 @@ func (r *Registry) Observe(id string, vec []float64) (Result, error) {
 // batch endpoint uses it to queue a whole NDJSON batch before waiting,
 // which is what lets the dispatcher coalesce same-stream records into
 // one detector pass.
+//
+//streamad:lifecycle — starts the per-stream dispatcher; Close drains it via procMu.
 func (r *Registry) Enqueue(id string, vec []float64) (Ack, error) {
 	st, it, start, err := r.admit(id, vec)
 	if err != nil {

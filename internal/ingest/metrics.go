@@ -35,7 +35,7 @@ func (m *ingestMetrics) observeBatch(n int) {
 
 // ShardStat is one shard's instantaneous load.
 type ShardStat struct {
-	Streams   int // streams resident on the shard
+	Streams    int // streams resident on the shard
 	QueueDepth int // vectors queued across the shard's streams
 }
 
@@ -46,9 +46,9 @@ type Stats struct {
 	QueueDepth int // configured per-stream bound
 	Overload   Policy
 
-	Streams       int // live streams
+	Streams       int   // live streams
 	StreamsTotal  int64 // streams ever created (incl. restored/evicted)
-	QueuedVectors int // vectors currently queued across all streams
+	QueuedVectors int   // vectors currently queued across all streams
 
 	ShedTotal    uint64
 	DroppedTotal uint64

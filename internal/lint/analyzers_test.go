@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"streamad/internal/lint"
+	"streamad/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.HotAlloc, "hotalloc")
+}
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.DetRand, "detrand", "detrand/internal/randstate")
+}
+
+func TestFloatSafe(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.FloatSafe, "floatsafe")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.LockDiscipline, "lockdiscipline")
+}
+
+func TestCtxGoroutine(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.CtxGoroutine, "ctxgoroutine")
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand enforces the repo's deterministic-RNG contract: every source
+// of randomness flows through internal/randstate, whose CountedSource
+// records (seed, draws) so a restored checkpoint fast-forwards to the
+// exact stream position and replays bit-identically.
+//
+// Flagged anywhere outside internal/randstate:
+//
+//   - any use of math/rand's package-level state (rand.Intn,
+//     rand.Float64, rand.Seed, ...): the global source is shared across
+//     goroutines and cannot be checkpointed;
+//   - rand.NewSource / rand.NewZipf and the math/rand/v2 constructors:
+//     raw sources bypass the draw counter, so a checkpoint cannot
+//     restore their position;
+//   - a time.Now()-derived seed in any RNG constructor (including
+//     randstate's): wall-clock seeds make runs unreproducible.
+//
+// rand.New itself is fine — wrapping a *randstate.CountedSource is
+// exactly the sanctioned pattern. Methods on a *rand.Rand value are
+// fine for the same reason.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbids RNG construction outside internal/randstate and any global or time-seeded math/rand use",
+	Run:  runDetRand,
+}
+
+// randstateSuffix identifies the one package allowed to touch raw
+// sources (matched by suffix so fixtures can model it).
+const randstateSuffix = "internal/randstate"
+
+func runDetRand(p *Pass) error {
+	exempt := strings.HasSuffix(p.Pkg.Path(), randstateSuffix)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if !exempt {
+					checkRandSelector(p, n)
+				}
+			case *ast.CallExpr:
+				checkTimeSeed(p, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRandSelector flags forbidden references into math/rand[/v2].
+func checkRandSelector(p *Pass, sel *ast.SelectorExpr) {
+	obj := p.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	switch obj := obj.(type) {
+	case *types.TypeName:
+		return // rand.Source, rand.Rand, ... in declarations are fine.
+	case *types.Func:
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // method on a constructed *rand.Rand
+		}
+		switch obj.Name() {
+		case "New":
+			return // must wrap a counted source; NewSource check guards the inside
+		case "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			p.Reportf(sel.Pos(), "raw %s.%s bypasses internal/randstate; use randstate.NewCountedSource so checkpoints restore bit-identically", obj.Pkg().Name(), obj.Name())
+			return
+		}
+		p.Reportf(sel.Pos(), "global math/rand state (%s.%s) is shared and not checkpointable; draw from a *rand.Rand built over randstate.NewCountedSource", obj.Pkg().Name(), obj.Name())
+	case *types.Var:
+		p.Reportf(sel.Pos(), "global math/rand state (%s.%s) is shared and not checkpointable", obj.Pkg().Name(), obj.Name())
+	}
+}
+
+// checkTimeSeed flags time.Now-derived seeds inside RNG constructors.
+func checkTimeSeed(p *Pass, call *ast.CallExpr) {
+	fn := pkgFunc(p.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	isCtor := false
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		isCtor = fn.Name() == "New" || fn.Name() == "NewSource" || strings.HasPrefix(fn.Name(), "New")
+	default:
+		isCtor = strings.HasSuffix(fn.Pkg().Path(), randstateSuffix) && strings.HasPrefix(fn.Name(), "New")
+	}
+	if !isCtor {
+		return
+	}
+	for _, arg := range call.Args {
+		if containsCallTo(p.TypesInfo, arg, "time", "Now") {
+			p.Reportf(arg.Pos(), "time-seeded RNG makes runs unreproducible; derive the seed from configuration")
+		}
+	}
+}

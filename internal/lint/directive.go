@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directiveIndex records, per file and line, which analyzers an ignore
+// directive silences. Two spellings are accepted, staticcheck-style:
+//
+//	//lint:ignore name1,name2 reason
+//	//streamad:ignore name1,name2 reason
+//
+// The special name "all" silences every analyzer. A directive covers
+// the line it sits on (end-of-line comment) and the line directly below
+// it (comment-above form). The reason is mandatory: a bare directive is
+// itself reported so suppressions stay auditable.
+type directiveIndex struct {
+	// ignores maps filename -> line -> analyzer-name set.
+	ignores map[string]map[int]map[string]bool
+	// malformed collects directives missing a reason.
+	malformed []token.Position
+}
+
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{ignores: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := trimCommentSlashes(c.Text)
+				if !ok {
+					continue
+				}
+				var rest string
+				switch {
+				case strings.HasPrefix(text, "lint:ignore"):
+					rest = text[len("lint:ignore"):]
+				case strings.HasPrefix(text, "streamad:ignore"):
+					rest = text[len("streamad:ignore"):]
+				default:
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					// Name without reason, or nothing at all.
+					idx.malformed = append(idx.malformed, pos)
+					continue
+				}
+				byLine := idx.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx.ignores[pos.Filename] = byLine
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := byLine[line]
+						if set == nil {
+							set = make(map[string]bool)
+							byLine[line] = set
+						}
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// ignored reports whether a directive silences analyzer name at pos.
+func (idx *directiveIndex) ignored(name string, pos token.Position) bool {
+	byLine := idx.ignores[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	set := byLine[pos.Line]
+	return set != nil && (set[name] || set["all"])
+}

@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSafe guards the places where streaming float math turns into
+// NaN/±Inf and silently poisons downstream state (scores, thresholds,
+// JSON payloads). Three rules:
+//
+//  1. Division by a possibly-zero length: x / float64(len(s)) — the
+//     mean-of-empty-window classic — is flagged unless the function
+//     also compares some len()/cap() (or the traced count variable)
+//     against a bound, i.e. visibly handles the empty case.
+//
+//  2. math.Sqrt / Log / Log2 / Log10 of a difference: an operand that
+//     is (or is solely assigned from) a subtraction can go negative
+//     through floating-point cancellation (the textbook case is
+//     variance = E[x²] − E[x]²). Flagged unless the operand variable is
+//     visibly clamped (compared against a bound or passed through
+//     math.Max/math.Abs).
+//
+//  3. Floats marshalled to JSON: encoding/json renders NaN/±Inf as an
+//     error, aborting the whole response. Any json.Marshal /
+//     Encoder.Encode of a local struct type carrying float fields is
+//     flagged unless the type's declaration is marked
+//     //streamad:finite-json — the author's assertion that every float
+//     field is routed through a finite guard (server.finiteOrZero
+//     style) when the struct is filled.
+var FloatSafe = &Analyzer{
+	Name: "floatsafe",
+	Doc:  "flags unguarded division by length, Sqrt/Log of differences, and unguarded floats marshalled to JSON",
+	Run:  runFloatSafe,
+}
+
+const finiteJSONMarker = "streamad:finite-json"
+
+func runFloatSafe(p *Pass) error {
+	markers := collectFiniteJSONMarkers(p)
+	forEachFuncDecl(p.Files, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		checkFloatFunc(p, fd)
+	})
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkJSONCall(p, call, markers)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- rules 1 & 2: intra-function dataflow heuristics ----
+
+type funcFacts struct {
+	// assigns maps a variable to every RHS expression assigned to it.
+	assigns map[*types.Var][]ast.Expr
+	// compared holds variables that appear inside any comparison or
+	// math.Max/math.Abs call — the "visibly guarded" evidence.
+	compared map[*types.Var]bool
+	// lenCompared is true when any len()/cap() call appears inside a
+	// comparison in the function.
+	lenCompared bool
+}
+
+func gatherFuncFacts(p *Pass, body *ast.BlockStmt) *funcFacts {
+	ff := &funcFacts{assigns: make(map[*types.Var][]ast.Expr), compared: make(map[*types.Var]bool)}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		var obj types.Object
+		if def := p.TypesInfo.Defs[id]; def != nil {
+			obj = def
+		} else {
+			obj = p.TypesInfo.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			ff.assigns[v] = append(ff.assigns[v], rhs)
+		}
+	}
+	markCompared := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if v, ok := p.TypesInfo.Uses[n].(*types.Var); ok {
+					ff.compared[v] = true
+				}
+			case *ast.CallExpr:
+				if isBuiltin(p.TypesInfo, n, "len") || isBuiltin(p.TypesInfo, n, "cap") {
+					ff.lenCompared = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					record(name, n.Values[i])
+				}
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				markCompared(n.X)
+				markCompared(n.Y)
+			}
+		case *ast.CallExpr:
+			if fn := pkgFunc(p.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+				if fn.Name() == "Max" || fn.Name() == "Abs" {
+					for _, a := range n.Args {
+						markCompared(a)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ff
+}
+
+func checkFloatFunc(p *Pass, fd *ast.FuncDecl) {
+	ff := gatherFuncFacts(p, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO {
+				checkLenDivision(p, ff, n)
+			}
+		case *ast.CallExpr:
+			checkSqrtLog(p, ff, n)
+		}
+		return true
+	})
+}
+
+// lenDerived reports whether e is float64(len(..))/float64(cap(..)) or
+// an identifier assigned (only) from such expressions or from bare
+// len()/cap().
+func lenDerived(p *Pass, ff *funcFacts, e ast.Expr) (guardedVar *types.Var, derived bool) {
+	e = unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if _, isConv := isConversion(p.TypesInfo, call); isConv && len(call.Args) == 1 {
+			inner := unparen(call.Args[0])
+			if ic, ok := inner.(*ast.CallExpr); ok &&
+				(isBuiltin(p.TypesInfo, ic, "len") || isBuiltin(p.TypesInfo, ic, "cap")) {
+				return nil, true
+			}
+			return lenDerived(p, ff, call.Args[0])
+		}
+		if isBuiltin(p.TypesInfo, call, "len") || isBuiltin(p.TypesInfo, call, "cap") {
+			return nil, true
+		}
+		return nil, false
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := p.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	rhss := ff.assigns[v]
+	if len(rhss) == 0 {
+		return nil, false
+	}
+	for _, rhs := range rhss {
+		if _, d := lenDerived(p, ff, rhs); !d {
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+func checkLenDivision(p *Pass, ff *funcFacts, div *ast.BinaryExpr) {
+	t := p.TypesInfo.Types[div].Type
+	if t == nil || !isFloat(t) {
+		return
+	}
+	v, derived := lenDerived(p, ff, div.Y)
+	if !derived {
+		return
+	}
+	if ff.lenCompared || (v != nil && ff.compared[v]) {
+		return // the function visibly handles the empty case
+	}
+	p.Reportf(div.Y.Pos(), "division by a length that may be zero (empty input yields NaN/Inf); guard the empty case")
+}
+
+func checkSqrtLog(p *Pass, ff *funcFacts, call *ast.CallExpr) {
+	fn := pkgFunc(p.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math" || len(call.Args) != 1 {
+		return
+	}
+	switch fn.Name() {
+	case "Sqrt", "Log", "Log2", "Log10":
+	default:
+		return
+	}
+	arg := unparen(call.Args[0])
+	if sub, ok := arg.(*ast.BinaryExpr); ok && sub.Op == token.SUB {
+		p.Reportf(arg.Pos(), "math.%s of a difference can go negative through cancellation; clamp the operand first", fn.Name())
+		return
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := p.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	rhss := ff.assigns[v]
+	if len(rhss) == 0 || ff.compared[v] {
+		return
+	}
+	subtraction := false
+	for _, rhs := range rhss {
+		if b, ok := unparen(rhs).(*ast.BinaryExpr); ok && b.Op == token.SUB {
+			subtraction = true
+		}
+	}
+	if subtraction {
+		p.Reportf(arg.Pos(), "math.%s of %s, which is assigned from a difference and never clamped; cancellation can make it negative", fn.Name(), id.Name)
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ---- rule 3: JSON finite-guard contract ----
+
+// collectFiniteJSONMarkers returns the named types declared in this
+// package whose declarations carry //streamad:finite-json.
+func collectFiniteJSONMarkers(p *Pass) map[*types.TypeName]bool {
+	marked := make(map[*types.TypeName]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(ts.Doc, finiteJSONMarker) || hasMarker(gd.Doc, finiteJSONMarker) || hasMarker(ts.Comment, finiteJSONMarker) {
+					if tn, ok := p.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						marked[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func checkJSONCall(p *Pass, call *ast.CallExpr, marked map[*types.TypeName]bool) {
+	var arg ast.Expr
+	switch {
+	case isPkgCall(p.TypesInfo, call, "encoding/json", "Marshal") && len(call.Args) == 1:
+		arg = call.Args[0]
+	case isPkgCall(p.TypesInfo, call, "encoding/json", "MarshalIndent") && len(call.Args) == 3:
+		arg = call.Args[0]
+	default:
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Encode" || len(call.Args) != 1 {
+			return
+		}
+		fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+			return
+		}
+		arg = call.Args[0]
+	}
+	t := p.TypesInfo.Types[arg].Type
+	if t == nil {
+		return
+	}
+	tn, hasFloats := floatStruct(t, p.Pkg, make(map[types.Type]bool))
+	if !hasFloats {
+		return
+	}
+	if tn == nil {
+		p.Reportf(arg.Pos(), "anonymous struct with float fields marshalled to JSON; name it and mark the declaration //%s after guarding its floats", finiteJSONMarker)
+		return
+	}
+	if !marked[tn] {
+		p.Reportf(arg.Pos(), "%s carries float fields into JSON without the finite-guard contract; route them through a finiteOrZero-style helper and mark the type //%s", tn.Name(), finiteJSONMarker)
+	}
+}
+
+// floatStruct reports whether t (after stripping pointers, slices,
+// arrays and map values) is a struct with JSON-visible float fields,
+// returning its local TypeName when it is a named type declared in pkg
+// (nil for anonymous structs or foreign types — foreign types are
+// skipped, their own package is responsible for them).
+func floatStruct(t types.Type, pkg *types.Package, seen map[types.Type]bool) (*types.TypeName, bool) {
+	if seen[t] {
+		return nil, false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Pointer:
+		return floatStruct(u.Elem(), pkg, seen)
+	case *types.Slice:
+		return floatStruct(u.Elem(), pkg, seen)
+	case *types.Array:
+		return floatStruct(u.Elem(), pkg, seen)
+	case *types.Map:
+		return floatStruct(u.Elem(), pkg, seen)
+	case *types.Named:
+		st, ok := u.Underlying().(*types.Struct)
+		if !ok {
+			return nil, false
+		}
+		if !structHasFloats(st, seen) {
+			return nil, false
+		}
+		if u.Obj().Pkg() != pkg {
+			return nil, false // foreign type: out of this package's contract
+		}
+		return u.Obj(), true
+	case *types.Struct:
+		return nil, structHasFloats(u, seen)
+	}
+	return nil, false
+}
+
+func structHasFloats(st *types.Struct, seen map[types.Type]bool) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if tagSkipsJSON(st.Tag(i)) {
+			continue
+		}
+		if fieldTypeHasFloat(f.Type(), seen) {
+			return true
+		}
+	}
+	return false
+}
+
+func fieldTypeHasFloat(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Pointer:
+		return fieldTypeHasFloat(u.Elem(), seen)
+	case *types.Slice:
+		return fieldTypeHasFloat(u.Elem(), seen)
+	case *types.Array:
+		return fieldTypeHasFloat(u.Elem(), seen)
+	case *types.Map:
+		return fieldTypeHasFloat(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() || tagSkipsJSON(u.Tag(i)) {
+				continue
+			}
+			if fieldTypeHasFloat(f.Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tagSkipsJSON reports whether a struct tag carries json:"-".
+func tagSkipsJSON(tag string) bool {
+	// Minimal struct-tag scan; reflect.StructTag.Get without reflect.
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		i = 0
+		for i < len(tag) && tag[i] != ':' && tag[i] != ' ' {
+			i++
+		}
+		if i == len(tag) || tag[i] != ':' || i+1 >= len(tag) || tag[i+1] != '"' {
+			return false
+		}
+		name := tag[:i]
+		rest := tag[i+2:]
+		j := 0
+		for j < len(rest) && rest[j] != '"' {
+			if rest[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(rest) {
+			return false
+		}
+		value := rest[:j]
+		if name == "json" && (value == "-" || len(value) > 1 && value[:2] == "-,") {
+			return true
+		}
+		tag = rest[j+1:]
+	}
+	return false
+}

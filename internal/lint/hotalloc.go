@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags allocating constructs inside functions marked
+// //streamad:hotpath. The marker is the machine-readable form of the
+// repo's 0-allocs/op contract for the serving kernels (Detector.Step,
+// the ForwardInto/BackwardInto families, scorer updates): AllocsPerRun
+// tests catch a regression at test time, hotalloc catches it at vet
+// time and points at the construct that allocates.
+//
+// Flagged inside a hotpath body: make, new, append, slice/map/array
+// composite literals, address-taken struct literals, closures (func
+// literals capture their environment on the heap), go statements,
+// string concatenation, string<->[]byte/[]rune conversions, and calls
+// into fmt or errors (variadic ...interface{} boxes every argument).
+//
+// Deliberate one-time lazy initialization on a hot path is suppressed
+// line-by-line with //streamad:ignore hotalloc <reason>. The analyzer
+// checks constructs of the marked function itself, not of its callees:
+// mark the whole call chain (the kernels it guards are leaf-level), and
+// keep AllocsPerRun tests as the end-to-end backstop.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating constructs inside //streamad:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) error {
+	forEachFuncDecl(p.Files, func(fd *ast.FuncDecl) {
+		if fd.Body == nil || !hasMarker(fd.Doc, "streamad:hotpath") {
+			return
+		}
+		checkHotBody(p, fd.Body)
+	})
+	return nil
+}
+
+func checkHotBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, n)
+		case *ast.CompositeLit:
+			t := p.TypesInfo.Types[n].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates on a hot path")
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates on a hot path")
+			case *types.Array:
+				// Arrays are values; only flag when address-taken below.
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "address-taken composite literal escapes to the heap on a hot path")
+				}
+			}
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure allocates (captured environment) on a hot path")
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "go statement allocates a goroutine on a hot path")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.TypesInfo.Types[n].Type; t != nil && isString(t) {
+					p.Reportf(n.Pos(), "string concatenation allocates on a hot path")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, call *ast.CallExpr) {
+	switch {
+	case isBuiltin(p.TypesInfo, call, "append"):
+		p.Reportf(call.Pos(), "append may grow its backing array on a hot path; use a preallocated buffer")
+	case isBuiltin(p.TypesInfo, call, "make"):
+		p.Reportf(call.Pos(), "make allocates on a hot path; hoist the buffer into reusable scratch")
+	case isBuiltin(p.TypesInfo, call, "new"):
+		p.Reportf(call.Pos(), "new allocates on a hot path; hoist the value into reusable scratch")
+	default:
+		if to, ok := isConversion(p.TypesInfo, call); ok {
+			if len(call.Args) == 1 {
+				from := p.TypesInfo.Types[call.Args[0]].Type
+				if from != nil && stringBytesConversion(from, to) {
+					p.Reportf(call.Pos(), "string/byte-slice conversion copies on a hot path")
+				}
+			}
+			return
+		}
+		if fn := pkgFunc(p.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "fmt", "errors":
+				p.Reportf(call.Pos(), "%s.%s allocates (interface boxing) on a hot path", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func stringBytesConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}

@@ -1,0 +1,152 @@
+// Package linttest runs lint analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which this
+// module cannot depend on): fixture sources live under
+// testdata/src/<path>/, and every line expected to produce a finding
+// carries a trailing comment of the form
+//
+//	// want "regexp"
+//	// want `regexp` "second regexp"
+//
+// Run loads each fixture package, applies the analyzer, and reports a
+// test error for every diagnostic without a matching want and every
+// want without a matching diagnostic.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamad/internal/lint"
+)
+
+// Run applies analyzer a to the fixture packages under dir (typically
+// "testdata/src") named by pkgPaths, checking diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader := lint.NewLoader(abs, "")
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("linttest: load %s: %v", path, err)
+			continue
+		}
+		diags, err := lint.RunPackage(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Errorf("linttest: run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+type want struct {
+	pos token.Position
+	rx  *regexp.Regexp
+	hit bool
+}
+
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.pos.Filename != d.Pos.Filename || w.pos.Line != d.Pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.rx)
+		}
+	}
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//") {
+					continue
+				}
+				body := strings.TrimSpace(text[2:])
+				if !strings.HasPrefix(body, "want ") && body != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parseWantPatterns(t, pos, strings.TrimPrefix(body, "want")) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{pos: pos, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantPatterns splits `"p1" "p2"` or backquoted forms.
+func parseWantPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			pats = append(pats, pat)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got: %s", pos, s)
+		}
+	}
+	return pats
+}

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline machine-checks the repo's locking conventions:
+//
+//  1. Mixed atomic/plain access: a field passed to sync/atomic
+//     Add/Load/Store/Swap/CompareAndSwap anywhere in the package must
+//     be accessed that way everywhere — one plain read racing an
+//     atomic writer is undefined behaviour the race detector only
+//     catches when the schedule cooperates. (Typed atomic.Int64-style
+//     fields are immune by construction and preferred.)
+//
+//  2. Membership mutexes: a sync.Mutex field marked
+//     //streamad:membership guards registry membership (lookup,
+//     create, evict) only. Calling into a detector pass — Step,
+//     Observe, Predict, Fit, Score, NonconformityScore, Run — while
+//     holding one stalls every stream hashing to the shard behind a
+//     model's milliseconds-long pass.
+//
+//  3. Lock/Unlock pairing: a sync.Mutex/RWMutex Lock with no matching
+//     Unlock (plain or deferred) in the same function escapes local
+//     reasoning; helper pairs that intentionally split lock and unlock
+//     must carry a suppression explaining who unlocks.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flags mixed atomic/plain field access, detector calls under membership mutexes, and unpaired Lock/Unlock",
+	Run:  runLockDiscipline,
+}
+
+const membershipMarker = "streamad:membership"
+
+// forbiddenUnderMembership are the detector/model pass entry points that
+// must never run under a membership mutex.
+var forbiddenUnderMembership = map[string]bool{
+	"Step": true, "Observe": true, "Predict": true, "Fit": true,
+	"Score": true, "NonconformityScore": true, "Run": true,
+}
+
+var atomicOps = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runLockDiscipline(p *Pass) error {
+	checkMixedAtomics(p)
+	members := collectMembershipMutexes(p)
+	forEachFuncDecl(p.Files, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		checkMembershipRegions(p, fd, members)
+		checkLockPairing(p, fd)
+	})
+	return nil
+}
+
+// ---- rule 1: mixed atomic/plain access ----
+
+func checkMixedAtomics(p *Pass) {
+	atomicVars := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.Ident]bool) // idents that ARE the atomic access
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(p.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicOps[fn.Name()] || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			var id *ast.Ident
+			switch x := unparen(addr.X).(type) {
+			case *ast.SelectorExpr:
+				id = x.Sel
+			case *ast.Ident:
+				id = x
+			default:
+				return true
+			}
+			obj := p.TypesInfo.Uses[id]
+			if obj == nil {
+				obj = p.TypesInfo.Defs[id]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				atomicVars[v] = true
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := p.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && atomicVars[v] {
+				p.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere; this plain access races with the atomic ops", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// ---- rule 2: membership mutexes ----
+
+// collectMembershipMutexes finds sync.Mutex/RWMutex struct fields whose
+// declaration carries //streamad:membership.
+func collectMembershipMutexes(p *Pass) map[*types.Var]bool {
+	marked := make(map[*types.Var]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasMarker(field.Doc, membershipMarker) && !hasMarker(field.Comment, membershipMarker) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.TypesInfo.Defs[name].(*types.Var); ok && isMutexType(v.Type()) {
+						marked[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// mutexCall matches expr of the form X.field.Method(...) where field is
+// a mutex var; it returns the field var and method name.
+func mutexCall(p *Pass, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, ""
+	}
+	var id *ast.Ident
+	switch x := unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		id = x.Sel
+	case *ast.Ident:
+		id = x
+	default:
+		return nil, ""
+	}
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = p.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !isMutexType(v.Type()) {
+		return nil, ""
+	}
+	return v, sel.Sel.Name
+}
+
+func checkMembershipRegions(p *Pass, fd *ast.FuncDecl, members map[*types.Var]bool) {
+	if len(members) == 0 {
+		return
+	}
+	type event struct {
+		pos  token.Pos
+		v    *types.Var
+		name string // Lock / Unlock
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v, name := mutexCall(p, call); v != nil && members[v] {
+			switch name {
+			case "Lock", "TryLock":
+				events = append(events, event{call.Pos(), v, "Lock"})
+			case "Unlock":
+				events = append(events, event{call.Pos(), v, "Unlock"})
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+	// Build held intervals per mutex var: Lock..next Unlock (or func end).
+	// Deferred unlocks run at return, so a `defer mu.Unlock()` leaves the
+	// region open to the end of the function — which is exactly the
+	// conservative reading we want.
+	type interval struct {
+		v          *types.Var
+		start, end token.Pos
+	}
+	var held []interval
+	for i, e := range events {
+		if e.name != "Lock" {
+			continue
+		}
+		end := fd.Body.End()
+		for j := i + 1; j < len(events); j++ {
+			if events[j].v == e.v && events[j].name == "Unlock" {
+				// A deferred unlock textually precedes later statements but
+				// runs last; treat it as not closing the region.
+				if !inDefer(fd.Body, events[j].pos) {
+					end = events[j].pos
+				}
+				break
+			}
+		}
+		held = append(held, interval{e.v, e.pos, end})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !forbiddenUnderMembership[sel.Sel.Name] {
+			return true
+		}
+		if v, _ := mutexCall(p, call); v != nil {
+			return true // the mutex ops themselves
+		}
+		for _, iv := range held {
+			if call.Pos() > iv.start && call.Pos() < iv.end {
+				p.Reportf(call.Pos(), "%s called while holding membership mutex %s; detector passes must not run under a shard lock", sel.Sel.Name, iv.v.Name())
+				break
+			}
+		}
+		return true
+	})
+}
+
+// inDefer reports whether pos sits inside a defer statement of body.
+func inDefer(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Pos() <= pos && pos < d.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- rule 3: Lock/Unlock pairing ----
+
+func checkLockPairing(p *Pass, fd *ast.FuncDecl) {
+	type side struct {
+		lockPos   []token.Pos
+		hasUnlock bool
+	}
+	// Key by (receiver text, R-ness) so s.mu and other.mu stay distinct.
+	acquired := make(map[string]*side)
+	order := []string{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		v, name := mutexCall(p, call)
+		if v == nil {
+			return true
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		key := exprText(p.Fset, sel.X)
+		r := ""
+		if name == "RLock" || name == "RUnlock" || name == "TryRLock" {
+			r = "R"
+		}
+		key += "/" + r
+		s := acquired[key]
+		if s == nil {
+			s = &side{}
+			acquired[key] = s
+			order = append(order, key)
+		}
+		switch name {
+		case "Lock", "RLock":
+			s.lockPos = append(s.lockPos, call.Pos())
+		case "TryLock", "TryRLock":
+			// Try forms are conditional; pairing is checked by rule's
+			// unlock-presence only when a plain Lock also exists.
+		case "Unlock", "RUnlock":
+			s.hasUnlock = true
+		}
+		return true
+	})
+	for _, key := range order {
+		s := acquired[key]
+		if len(s.lockPos) > 0 && !s.hasUnlock {
+			p.Reportf(s.lockPos[0], "mutex locked here but never unlocked in this function; unlock on every path (defer) or suppress with the owner of the unlock")
+		}
+	}
+}
+
+// exprText renders a (small) expression for use as a map key.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}

@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"streamad/internal/lint"
+)
+
+// TestSuiteCleanOnRepo is the self-application gate: the full analyzer
+// suite must produce zero diagnostics on the repository it ships in.
+// A finding here means either new code broke an invariant (fix it) or
+// a deliberate exception lacks its //streamad:ignore justification.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short mode")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := lint.ModulePath(root)
+	if err != nil {
+		t.Fatalf("reading go.mod: %v", err)
+	}
+	loader := lint.NewLoader(root, module)
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatalf("enumerating packages: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no packages found in module")
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		diags, err := lint.RunPackage(pkg, lint.All())
+		if err != nil {
+			t.Errorf("run %s: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

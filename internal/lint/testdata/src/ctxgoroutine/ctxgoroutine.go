@@ -1,0 +1,19 @@
+// Package ctxgoroutine is the fixture for the ctxgoroutine analyzer.
+package ctxgoroutine
+
+type server struct {
+	done chan struct{}
+}
+
+func (s *server) start() {
+	go s.loop() // want `goroutine launched outside a //streamad:lifecycle helper`
+}
+
+// startManaged launches the worker loop; Close joins it through done.
+//
+//streamad:lifecycle — joined via the done channel in Close.
+func (s *server) startManaged() {
+	go s.loop()
+}
+
+func (s *server) loop() { <-s.done }

@@ -1,0 +1,23 @@
+// Package detrand is the fixture for the detrand analyzer.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+
+	"detrand/internal/randstate"
+)
+
+func bad(seed int64) float64 {
+	n := rand.Intn(10)                            // want `global math/rand state \(rand\.Intn\)`
+	rand.Seed(seed)                               // want `global math/rand state \(rand\.Seed\)`
+	src := rand.NewSource(seed)                   // want `raw rand\.NewSource bypasses internal/randstate`
+	wall := rand.NewSource(time.Now().UnixNano()) // want `raw rand\.NewSource` `time-seeded RNG makes runs unreproducible`
+	_, _, _ = n, src, wall
+	return 0
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(randstate.NewCountedSource(seed))
+	return rng.Float64() // methods on a constructed *rand.Rand are fine
+}

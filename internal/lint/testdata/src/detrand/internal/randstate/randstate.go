@@ -1,0 +1,10 @@
+// Package randstate models the one package allowed to construct raw
+// sources; the analyzer exempts it by import-path suffix.
+package randstate
+
+import "math/rand"
+
+// NewCountedSource may touch rand.NewSource: this package is exempt.
+func NewCountedSource(seed int64) rand.Source {
+	return rand.NewSource(seed)
+}

@@ -1,0 +1,66 @@
+// Package floatsafe is the fixture for the floatsafe analyzer: each
+// rule has an unguarded (flagged) and a guarded (clean) variant.
+package floatsafe
+
+import (
+	"encoding/json"
+	"math"
+)
+
+func meanBad(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs)) // want `division by a length that may be zero`
+}
+
+func meanGood(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func stdBad(sumsq, n, mean float64) float64 {
+	return math.Sqrt(sumsq/n - mean*mean) // want `math\.Sqrt of a difference can go negative`
+}
+
+func stdGood(sumsq, n, mean float64) float64 {
+	v := sumsq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+func logBad(a, b float64) float64 {
+	gap := a - b
+	return math.Log(gap) // want `math\.Log of gap, which is assigned from a difference`
+}
+
+// Unguarded floats go straight to the wire.
+type Unguarded struct {
+	Score float64 `json:"score"`
+}
+
+// Guarded floats pass through a finiteOrZero-style helper first.
+//
+//streamad:finite-json — all float fields are guarded before encode.
+type Guarded struct {
+	Score float64 `json:"score"`
+}
+
+func encode(u Unguarded, g Guarded) ([]byte, error) {
+	if b, err := json.Marshal(u); err == nil { // want `Unguarded carries float fields into JSON without the finite-guard contract`
+		return b, nil
+	}
+	return json.Marshal(g)
+}
+
+var _, _, _, _, _ = meanBad, meanGood, stdBad, stdGood, logBad
+var _ = encode

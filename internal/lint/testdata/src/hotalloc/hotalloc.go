@@ -1,0 +1,51 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: every
+// allocating construct inside the marked kernel carries a want; the
+// same constructs in the unmarked function do not.
+package hotalloc
+
+import "fmt"
+
+var sink interface{}
+
+type state struct {
+	buf     []float64
+	scratch []float64
+}
+
+//streamad:hotpath
+func (s *state) kernel(x []float64, prefix string) float64 {
+	tmp := make([]float64, len(x)) // want `make allocates on a hot path`
+	s.buf = append(s.buf, x...)    // want `append may grow its backing array`
+	lit := []float64{1, 2}         // want `slice literal allocates`
+	m := map[string]int{"a": 1}    // want `map literal allocates`
+	p := &state{}                  // want `address-taken composite literal`
+	n := new(int)                  // want `new allocates on a hot path`
+	f := func() {}                 // want `closure allocates`
+	go f()                         // want `go statement allocates a goroutine`
+	msg := prefix + "b"            // want `string concatenation allocates`
+	b := []byte(msg)               // want `string/byte-slice conversion copies`
+	err := fmt.Errorf("x %v", n)   // want `fmt.Errorf allocates \(interface boxing\)`
+	sink, _ = tmp, lit
+	sink, _ = m, p
+	sink, _ = b, err
+	return 0
+}
+
+// cold uses the same constructs without the marker: no findings.
+func cold(x []float64) []float64 {
+	y := make([]float64, 0, len(x)+1)
+	y = append(y, x...)
+	return append(y, 1)
+}
+
+//streamad:hotpath
+func (s *state) lazy(x []float64) []float64 {
+	if s.scratch == nil {
+		//streamad:ignore hotalloc one-time lazy init; steady state reuses the buffer
+		s.scratch = make([]float64, len(x))
+	}
+	copy(s.scratch, x)
+	return s.scratch
+}
+
+var _ = cold

@@ -1,0 +1,56 @@
+// Package lockdiscipline is the fixture for the lockdiscipline
+// analyzer: mixed atomic/plain access, detector passes under a
+// membership mutex, and an unpaired Lock.
+package lockdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `n is accessed with sync/atomic elsewhere`
+}
+
+type detector struct{}
+
+func (detector) Step(x []float64) float64 { return 0 }
+
+type shard struct {
+	//streamad:membership — guards the dets map only.
+	mu   sync.Mutex
+	dets map[string]detector
+}
+
+func (s *shard) observe(id string, x []float64) float64 {
+	s.mu.Lock()
+	d := s.dets[id]
+	v := d.Step(x) // want `Step called while holding membership mutex`
+	s.mu.Unlock()
+	return v
+}
+
+func (s *shard) lookup(id string) detector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dets[id]
+}
+
+type leaky struct {
+	mu sync.Mutex
+}
+
+func (l *leaky) acquire() {
+	l.mu.Lock() // want `mutex locked here but never unlocked in this function`
+}
+
+var _ = (*counter)(nil).incr

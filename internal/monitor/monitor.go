@@ -105,6 +105,8 @@ func (m *Monitor) Alerts() <-chan Alert { return m.alerts }
 // Feed routes one stream vector to the named stream's detector, creating
 // the detector on first use. It blocks when the stream's buffer is full
 // (backpressure) and returns ErrClosed after Close.
+//
+//streamad:lifecycle — starts one worker per stream on first use; Close drains and joins.
 func (m *Monitor) Feed(stream string, s []float64) error {
 	m.mu.Lock()
 	if m.closed {

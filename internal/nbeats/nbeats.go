@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"streamad/internal/nn"
+	"streamad/internal/randstate"
 )
 
 // BasisKind selects the expansion basis of a block.
@@ -206,7 +207,7 @@ func newWithBases(cfg Config, bases []BasisKind) (*Model, error) {
 	if lr == 0 {
 		lr = 1e-3
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(randstate.NewCountedSource(cfg.Seed))
 	inDim := cfg.BackcastRows * cfg.Channels
 	outDim := cfg.Channels
 	m := &Model{
@@ -342,6 +343,8 @@ func (m *Model) Blocks() int { return len(m.blocks) }
 // returning the total forecast (aliasing foreBuf, valid until the next
 // forward). Residual inputs live in the stack contexts; the in-place
 // x_{l+1} = x_l − x̂_l update runs in xbuf.
+//
+//streamad:hotpath
 func (m *Model) forward(input []float64) []float64 {
 	forecast := m.foreBuf
 	for i := range forecast {
@@ -378,6 +381,8 @@ func (m *Model) forward(input []float64) []float64 {
 
 // applyFixedInto computes basis·θ for a fixed basis matrix stored
 // row-wise, writing into out.
+//
+//streamad:hotpath
 func applyFixedInto(basis [][]float64, theta, out []float64) {
 	for i, row := range basis {
 		var s float64
@@ -390,6 +395,8 @@ func applyFixedInto(basis [][]float64, theta, out []float64) {
 
 // fixedGradInto backpropagates gradOut through a fixed basis into g:
 // ∂L/∂θ = Bᵀ·gradOut.
+//
+//streamad:hotpath
 func fixedGradInto(basis [][]float64, gradOut, g []float64) {
 	for i := range g {
 		g[i] = 0
@@ -408,9 +415,12 @@ func fixedGradInto(basis [][]float64, gradOut, g []float64) {
 // Predict implements the framework model contract: given the feature
 // vector x ∈ R^{w×N} it forecasts the final row from the preceding w−1
 // rows, returning (target = s_t, prediction = ŝ_t).
+//
+//streamad:hotpath
 func (m *Model) Predict(x []float64) (target, pred []float64) {
 	rows := len(x) / m.channels
 	if rows*m.channels != len(x) || rows != m.backLen+1 {
+		//streamad:ignore hotalloc panic message on shape violation only
 		panic(fmt.Sprintf("nbeats: expected %d rows of %d channels, got %d values",
 			m.backLen+1, m.channels, len(x)))
 	}

@@ -35,6 +35,8 @@ func (s Sigmoid) Forward(x []float64) (y, ctx []float64) {
 }
 
 // ForwardInto implements Activation; ctx is y.
+//
+//streamad:hotpath
 func (Sigmoid) ForwardInto(x, y []float64) []float64 {
 	for i, v := range x {
 		y[i] = 1 / (1 + math.Exp(-v))
@@ -50,6 +52,8 @@ func (s Sigmoid) Backward(ctx, gradOut []float64) []float64 {
 }
 
 // BackwardInto implements Activation.
+//
+//streamad:hotpath
 func (Sigmoid) BackwardInto(ctx, gradOut, gradIn []float64) {
 	for i, go_ := range gradOut {
 		y := ctx[i]
@@ -78,6 +82,8 @@ func (ReLU) Forward(x []float64) (y, ctx []float64) {
 
 // ForwardInto implements Activation; ctx is x itself (no copy), so the
 // caller must preserve x until BackwardInto and y must not alias x.
+//
+//streamad:hotpath
 func (ReLU) ForwardInto(x, y []float64) []float64 {
 	for i, v := range x {
 		if v > 0 {
@@ -97,6 +103,8 @@ func (r ReLU) Backward(ctx, gradOut []float64) []float64 {
 }
 
 // BackwardInto implements Activation.
+//
+//streamad:hotpath
 func (ReLU) BackwardInto(ctx, gradOut, gradIn []float64) {
 	for i, go_ := range gradOut {
 		if ctx[i] > 0 {
@@ -120,6 +128,8 @@ func (t Tanh) Forward(x []float64) (y, ctx []float64) {
 }
 
 // ForwardInto implements Activation; ctx is y.
+//
+//streamad:hotpath
 func (Tanh) ForwardInto(x, y []float64) []float64 {
 	for i, v := range x {
 		y[i] = math.Tanh(v)
@@ -135,6 +145,8 @@ func (t Tanh) Backward(ctx, gradOut []float64) []float64 {
 }
 
 // BackwardInto implements Activation.
+//
+//streamad:hotpath
 func (Tanh) BackwardInto(ctx, gradOut, gradIn []float64) {
 	for i, go_ := range gradOut {
 		y := ctx[i]
@@ -156,6 +168,8 @@ func (Identity) Forward(x []float64) (y, ctx []float64) {
 }
 
 // ForwardInto implements Activation.
+//
+//streamad:hotpath
 func (Identity) ForwardInto(x, y []float64) []float64 {
 	copy(y, x)
 	return nil
@@ -169,6 +183,8 @@ func (Identity) Backward(_, gradOut []float64) []float64 {
 }
 
 // BackwardInto implements Activation.
+//
+//streamad:hotpath
 func (Identity) BackwardInto(_, gradOut, gradIn []float64) {
 	copy(gradIn, gradOut)
 }

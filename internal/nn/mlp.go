@@ -85,6 +85,8 @@ func (m *MLP) NewContext() *MLPContext {
 // ForwardCtx runs a forward pass through ctx, allocation-free, and
 // returns the output — which aliases ctx's last activation buffer and
 // stays valid until the context's next forward pass.
+//
+//streamad:hotpath
 func (m *MLP) ForwardCtx(ctx *MLPContext, x []float64) []float64 {
 	if len(x) != m.Layers[0].In {
 		panic("nn: MLP input dimension mismatch")
@@ -103,6 +105,8 @@ func (m *MLP) ForwardCtx(ctx *MLPContext, x []float64) []float64 {
 // accumulating parameter gradients, and returns the input gradient —
 // which aliases ctx's first gradient buffer. gradOut is consumed: the
 // output layer's activation backward runs in place on it.
+//
+//streamad:hotpath
 func (m *MLP) BackwardCtx(ctx *MLPContext, gradOut []float64) []float64 {
 	g := gradOut
 	for i := len(m.Layers) - 1; i >= 0; i-- {
@@ -135,6 +139,8 @@ func (m *MLP) Backward(ctx *MLPContext, gradOut []float64) []float64 {
 // Predict is an allocation-free forward pass through the MLP's private
 // scratch context. The returned slice is reused by the next Predict or
 // ForwardCtx-on-scratch call; copy it to retain.
+//
+//streamad:hotpath
 func (m *MLP) Predict(x []float64) []float64 {
 	if m.scratch == nil {
 		m.finish()
@@ -152,6 +158,8 @@ func (m *MLP) Params() []*Param {
 }
 
 // ZeroGrad clears all parameter gradients.
+//
+//streamad:hotpath
 func (m *MLP) ZeroGrad() {
 	for _, p := range m.Params() {
 		p.ZeroGrad()

@@ -35,8 +35,8 @@ import (
 )
 
 const (
-	snapMagic   = "SADSNAP1"
-	walMagic    = "SADWAL01"
+	snapMagic = "SADSNAP1"
+	walMagic  = "SADWAL01"
 	// Version identifies the on-disk layout of both file kinds.
 	Version uint32 = 1
 

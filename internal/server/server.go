@@ -295,8 +295,8 @@ func toObserveResponse(res ingest.Result) ObserveResponse {
 		return out
 	}
 	out.Ready = true
-	out.Score = res.Score
-	out.Nonconformity = res.Nonconformity
+	out.Score = finiteOrZero(res.Score)
+	out.Nonconformity = finiteOrZero(res.Nonconformity)
 	out.FineTuned = res.FineTuned
 	out.Alert = res.Alert
 	// The quantile policy reports +Inf until it has enough scores —
@@ -359,6 +359,8 @@ type batchRecord struct {
 // request order. Seq is the vector's per-stream sequence number;
 // exactly one of the score fields, Shed, Dropped or Error describes the
 // outcome.
+//
+//streamad:finite-json — toBatchResult passes every float through finiteOrZero.
 type BatchResult struct {
 	Stream        string  `json:"stream"`
 	Seq           uint64  `json:"seq"`
@@ -474,8 +476,8 @@ func toBatchResult(stream string, res ingest.Result) BatchResult {
 		out.Dropped = true
 	case res.Ready:
 		out.Ready = true
-		out.Score = res.Score
-		out.Nonconformity = res.Nonconformity
+		out.Score = finiteOrZero(res.Score)
+		out.Nonconformity = finiteOrZero(res.Nonconformity)
 		out.Alert = res.Alert
 		out.FineTuned = res.FineTuned
 		out.Threshold = finiteOrZero(res.Threshold)

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"streamad/internal/nn"
+	"streamad/internal/randstate"
 )
 
 // Model is a USAD adversarial autoencoder over min-max normalized inputs.
@@ -97,7 +98,7 @@ func New(cfg Config) (*Model, error) {
 	if lr == 0 {
 		lr = 1e-3
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(randstate.NewCountedSource(cfg.Seed))
 	d := cfg.Dim
 	h1, h2 := mid(d, z), mid2(d, z)
 	encSizes := []int{d, h1, h2, z}
@@ -187,6 +188,8 @@ func (m *Model) Latent() int { return m.latent }
 func (m *Model) Epoch() int { return m.epoch }
 
 // ae1 computes AE₁(x) = D₁(E(x)).
+//
+//streamad:hotpath
 func (m *Model) ae1(x []float64) []float64 {
 	return m.dec1.Predict(m.enc.Predict(x))
 }
@@ -197,8 +200,11 @@ func (m *Model) ae1(x []float64) []float64 {
 // α·R₁ + β·R_both — mapped back to the original space. The second term is
 // the adversarially amplified two-pass reconstruction that makes the error
 // spike on anomalous inputs.
+//
+//streamad:hotpath
 func (m *Model) Predict(x []float64) (target, pred []float64) {
 	if len(x) != m.dim {
+		//streamad:ignore hotalloc panic message on shape violation only
 		panic(fmt.Sprintf("usad: expected %d values, got %d", m.dim, len(x)))
 	}
 	z := m.scaler.Transform(x, m.zbuf)

@@ -30,6 +30,8 @@ func (r *Ring) Full() bool { return r.count == len(r.buf) }
 
 // Push appends x, evicting the oldest element when full. It returns the
 // evicted value and whether an eviction happened.
+//
+//streamad:hotpath
 func (r *Ring) Push(x float64) (evicted float64, wasFull bool) {
 	if r.count < len(r.buf) {
 		r.buf[(r.head+r.count)%len(r.buf)] = x
@@ -43,6 +45,8 @@ func (r *Ring) Push(x float64) (evicted float64, wasFull bool) {
 }
 
 // At returns the i-th element counted from the oldest (0 = oldest).
+//
+//streamad:hotpath
 func (r *Ring) At(i int) float64 {
 	if i < 0 || i >= r.count {
 		panic("window: index out of range")
@@ -69,6 +73,8 @@ func (r *Ring) Slice() []float64 {
 
 // CopyInto copies the contents, oldest first, into dst (which must have
 // length ≥ Len) and returns the number of elements copied.
+//
+//streamad:hotpath
 func (r *Ring) CopyInto(dst []float64) int {
 	for i := 0; i < r.count; i++ {
 		dst[i] = r.At(i)
@@ -121,6 +127,8 @@ func (r *VecRing) Full() bool { return r.count == len(r.buf) }
 // Push appends a copy of x, evicting the oldest vector when full. The
 // returned evicted slice aliases internal storage and is only valid until
 // the next Push; copy it if it must be retained.
+//
+//streamad:hotpath
 func (r *VecRing) Push(x []float64) (evicted []float64, wasFull bool) {
 	if len(x) != r.dim {
 		panic("window: vector dimension mismatch")
@@ -134,6 +142,7 @@ func (r *VecRing) Push(x []float64) (evicted []float64, wasFull bool) {
 	// The caller sees the pre-overwrite contents; a single reusable
 	// scratch keeps the steady-state push allocation-free.
 	if r.evict == nil {
+		//streamad:ignore hotalloc eviction scratch allocated once, reused every push
 		r.evict = make([]float64, r.dim)
 	}
 	copy(r.evict, slot)
@@ -144,6 +153,8 @@ func (r *VecRing) Push(x []float64) (evicted []float64, wasFull bool) {
 
 // At returns the i-th vector counted from the oldest (0 = oldest). The
 // returned slice aliases internal storage; do not modify it.
+//
+//streamad:hotpath
 func (r *VecRing) At(i int) []float64 {
 	if i < 0 || i >= r.count {
 		panic("window: index out of range")
