@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-hotpath bench-smoke lint fmtcheck staticcheck vulncheck
+.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak soak-smoke lint fmtcheck staticcheck vulncheck
 
 # ci is the fast gate; the race detector runs as its own CI job (make
-# race) so the concurrency suites don't slow the edit loop.
-ci: fmtcheck vet lint build test
+# race) so the concurrency suites don't slow the edit loop. soak-smoke
+# runs last: it needs a building tree, and it is the only target that
+# exercises a live streamadd end to end.
+ci: fmtcheck vet lint build test soak-smoke
 
 build:
 	$(GO) build ./...
@@ -61,3 +63,18 @@ bench-hotpath:
 # kernel that panics, without the cost of stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetectorStep|BenchmarkStepDuringFineTune|BenchmarkModelFit' -benchmem -benchtime 5x .
+
+# bench-soak regenerates BENCH_soak.json: scripts/soak.sh boots a real
+# streamadd (knn, 4 channels, block policy) on a loopback port and
+# drives 64 streams of the abrupt-drift scenario at 50 vec/s for 30s
+# through cmd/streamload, grading latency, shed/error rates, and online
+# recall against SLOs. Exit 1 means an SLO was violated.
+bench-soak:
+	scripts/soak.sh full
+
+# soak-smoke is the CI-sized version of the same harness: 64 streams,
+# ~2 seconds of traffic, hard SLOs (zero 5xx, zero shed, zero errors,
+# p99 < 750ms, recall >= 0.25). The report goes to a temp dir so smoke
+# runs never dirty the checked-in benchmark.
+soak-smoke:
+	scripts/soak.sh smoke

@@ -1,0 +1,205 @@
+package ingest_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamad/internal/core"
+	"streamad/internal/ingest"
+	"streamad/internal/scenario"
+)
+
+// burstSpec is the adversarial workload for the overload-policy tests:
+// a clean 2-channel gaussian base with recurring 20-step bursts of
+// 8-sigma spikes — exactly the shape that piles up in a bounded queue.
+const burstSpec = "burst(base(corpus=gauss,channels=2,p=0,pool=128),at=20,span=20,period=40,mag=8)"
+
+// scenarioVectors pre-draws n vectors for one stream of a scenario, so
+// producer goroutines replay deterministic data without touching the
+// generator concurrently.
+func scenarioVectors(t *testing.T, spec string, seed int64, n int) [][]float64 {
+	t.Helper()
+	sc, err := scenario.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.NewStream(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v, _ := s.Next()
+		vecs[i] = append([]float64(nil), v...)
+	}
+	return vecs
+}
+
+// slowDetector is histDetector behind a fixed per-step delay, so a
+// burst of enqueues outruns the dispatcher and the queue actually
+// fills. Scores stay deterministic and history-dependent.
+type slowDetector struct {
+	hist  histDetector
+	delay time.Duration
+}
+
+func (d *slowDetector) Step(v []float64) (core.Result, bool) {
+	time.Sleep(d.delay)
+	return d.hist.Step(v)
+}
+
+// TestShedUnderScenarioBursts drives six streams of scenario bursts at
+// depth-4 queues under the shed policy. Rejections must fail fast with
+// ErrOverload, and the admitted subsequence of every stream must keep
+// contiguous sequence numbers and score bit-identically to a serial
+// replay of exactly the admitted vectors. Run with -race.
+func TestShedUnderScenarioBursts(t *testing.T) {
+	const streams, n, volley = 6, 240, 40
+	r := newHistRegistry(t, ingest.Config{
+		NewDetector: func(string) (ingest.Stepper, error) {
+			return &slowDetector{hist: histDetector{warm: 2}, delay: 200 * time.Microsecond}, nil
+		},
+		Shards:     2,
+		QueueDepth: 4,
+		Overload:   ingest.Shed,
+	})
+	type outcome struct {
+		admitted bool
+		vec      []float64
+		ack      ingest.Ack
+	}
+	perStream := make([][]outcome, streams)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		vecs := scenarioVectors(t, burstSpec, scenario.DeriveSeed(42, fmt.Sprintf("stream/%d", s)), n)
+		wg.Add(1)
+		go func(s int, vecs [][]float64) {
+			defer wg.Done()
+			id := fmt.Sprintf("burst-%d", s)
+			for i, v := range vecs {
+				a, err := r.Enqueue(id, v)
+				switch {
+				case errors.Is(err, ingest.ErrOverload):
+					perStream[s] = append(perStream[s], outcome{vec: v})
+				case err != nil:
+					t.Errorf("stream %d vector %d: %v", s, i, err)
+					return
+				default:
+					perStream[s] = append(perStream[s], outcome{admitted: true, vec: v, ack: a})
+				}
+				if (i+1)%volley == 0 {
+					time.Sleep(3 * time.Millisecond) // inter-burst lull: the queue drains
+				}
+			}
+		}(s, vecs)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var shed uint64
+	for s := 0; s < streams; s++ {
+		ref := &histDetector{warm: 2}
+		var wantSeq uint64
+		for i, o := range perStream[s] {
+			if !o.admitted {
+				shed++
+				continue
+			}
+			res := <-o.ack.Done
+			// Sequence numbers are assigned at admission: the k-th
+			// admitted vector of a stream is seq k, shed or not around it.
+			if res.Seq != wantSeq {
+				t.Fatalf("stream %d record %d: seq %d, want %d (order across sheds broken)", s, i, res.Seq, wantSeq)
+			}
+			wantSeq++
+			want, ok := ref.Step(o.vec)
+			if res.Ready != ok || (ok && res.Score != want.Score) {
+				t.Fatalf("stream %d seq %d: score %v/%v, want %v/%v (admitted subsequence must replay serially)",
+					s, res.Seq, res.Ready, res.Score, ok, want.Score)
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatal("bursty load never tripped the shed policy; the test exercised nothing")
+	}
+	if got := r.Stats().ShedTotal; got != shed {
+		t.Fatalf("ShedTotal = %d, want %d observed rejections", got, shed)
+	}
+}
+
+// TestDropOldestUnderScenarioBursts drives the same bursty scenario at
+// the drop-oldest policy: every enqueue is admitted, each stream's acks
+// carry sequence numbers 0..n-1 in admission order, dropped vectors are
+// reported as such, and the surviving subsequence scores bit-identically
+// to a serial replay. Run with -race.
+func TestDropOldestUnderScenarioBursts(t *testing.T) {
+	const streams, n, volley = 6, 200, 25
+	r := newHistRegistry(t, ingest.Config{
+		NewDetector: func(string) (ingest.Stepper, error) {
+			return &slowDetector{hist: histDetector{warm: 2}, delay: 200 * time.Microsecond}, nil
+		},
+		Shards:     2,
+		QueueDepth: 4,
+		Overload:   ingest.DropOldest,
+	})
+	vecs := make([][][]float64, streams)
+	acks := make([][]ingest.Ack, streams)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		vecs[s] = scenarioVectors(t, burstSpec, scenario.DeriveSeed(7, fmt.Sprintf("stream/%d", s)), n)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			id := fmt.Sprintf("drop-%d", s)
+			for i, v := range vecs[s] {
+				a, err := r.Enqueue(id, v)
+				if err != nil {
+					t.Errorf("stream %d vector %d: drop-oldest enqueue failed: %v", s, i, err)
+					return
+				}
+				acks[s] = append(acks[s], a)
+				if (i+1)%volley == 0 {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var dropped uint64
+	for s := 0; s < streams; s++ {
+		if len(acks[s]) != n {
+			t.Fatalf("stream %d: %d acks, want %d (drop-oldest must admit everything)", s, len(acks[s]), n)
+		}
+		ref := &histDetector{warm: 2}
+		for i, a := range acks[s] {
+			res := <-a.Done
+			if res.Seq != uint64(i) {
+				t.Fatalf("stream %d record %d: seq %d (admission order must assign 0..n-1)", s, i, res.Seq)
+			}
+			if res.Dropped {
+				dropped++
+				continue
+			}
+			want, ok := ref.Step(vecs[s][i])
+			if res.Ready != ok || (ok && res.Score != want.Score) {
+				t.Fatalf("stream %d seq %d: score %v/%v, want %v/%v (survivors must replay serially, in order, across drops)",
+					s, i, res.Ready, res.Score, ok, want.Score)
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("bursty load never triggered drop-oldest; the test exercised nothing")
+	}
+	if got := r.Stats().DroppedTotal; got != dropped {
+		t.Fatalf("DroppedTotal = %d, want %d observed drops", got, dropped)
+	}
+}

@@ -1,0 +1,97 @@
+// Client-side timing faults: the injectors that perturb *when* batches
+// reach the server rather than what is in them. They live on the spec
+// grammar next to the content injectors — reorder(jitter(drift(...))) —
+// but apply to a load generator's send schedule, so the parser hoists
+// them out of the Stream chain into a TimingConfig and a Pacer plans
+// each batch deterministically from a seeded RNG.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streamad/internal/randstate"
+)
+
+// TimingConfig accumulates the timing-fault injectors of a spec.
+type TimingConfig struct {
+	// JitterFrac perturbs every inter-batch gap uniformly by
+	// ±JitterFrac·gap (jitter(frac=0.3)).
+	JitterFrac float64
+	// LateProb delays a batch by LateDelay with this probability
+	// (late(p=0.01,delay=250ms)) — stragglers, GC pauses, retries.
+	LateProb  float64
+	LateDelay time.Duration
+	// ReorderProb swaps a batch with its successor with this probability
+	// (reorder(p=0.05)): the successor's records are admitted — and
+	// sequence-numbered — first, an out-of-order producer.
+	ReorderProb float64
+}
+
+// faulty reports whether any timing fault is configured.
+func (tc TimingConfig) faulty() bool {
+	return tc.JitterFrac != 0 || tc.LateProb != 0 || tc.ReorderProb != 0
+}
+
+// validate rejects out-of-range fault parameters at parse time.
+func (tc TimingConfig) validate() error {
+	if tc.JitterFrac < 0 || tc.JitterFrac >= 1 {
+		return fmt.Errorf("scenario: jitter frac %v must be in [0, 1)", tc.JitterFrac)
+	}
+	if tc.LateProb < 0 || tc.LateProb > 1 {
+		return fmt.Errorf("scenario: late probability %v must be in [0, 1]", tc.LateProb)
+	}
+	if tc.LateProb > 0 && tc.LateDelay <= 0 {
+		return fmt.Errorf("scenario: late injector needs delay > 0")
+	}
+	if tc.ReorderProb < 0 || tc.ReorderProb > 1 {
+		return fmt.Errorf("scenario: reorder probability %v must be in [0, 1]", tc.ReorderProb)
+	}
+	return nil
+}
+
+// BatchPlan is the Pacer's verdict for one batch.
+type BatchPlan struct {
+	// Gap is how long to wait after the previous send before this batch
+	// goes out (nominal interval, jittered, plus any late fault).
+	Gap time.Duration
+	// SwapWithNext asks the sender to transmit the *following* batch
+	// first, then this one — the reorder fault.
+	SwapWithNext bool
+}
+
+// Pacer turns a nominal inter-batch interval into a deterministic
+// sequence of BatchPlans under the configured timing faults. The fault
+// decisions are RNG-driven and seeded, so two runs of the same spec and
+// seed plan identical schedules.
+type Pacer struct {
+	tc       TimingConfig
+	interval time.Duration
+	rng      *rand.Rand
+}
+
+// NewPacer builds a Pacer for one sender.
+func NewPacer(tc TimingConfig, interval time.Duration, seed int64) *Pacer {
+	return &Pacer{tc: tc, interval: interval, rng: rand.New(randstate.NewCountedSource(seed))}
+}
+
+// Plan returns the next batch's schedule. It always draws the same
+// number of RNG values per call, so plans stay aligned across
+// configurations that share a seed.
+func (p *Pacer) Plan() BatchPlan {
+	jitter := p.rng.Float64() // in [0,1)
+	lateDraw := p.rng.Float64()
+	swapDraw := p.rng.Float64()
+	plan := BatchPlan{Gap: p.interval}
+	if f := p.tc.JitterFrac; f > 0 {
+		plan.Gap = time.Duration(float64(p.interval) * (1 + f*(2*jitter-1)))
+	}
+	if p.tc.LateProb > 0 && lateDraw < p.tc.LateProb {
+		plan.Gap += p.tc.LateDelay
+	}
+	if p.tc.ReorderProb > 0 && swapDraw < p.tc.ReorderProb {
+		plan.SwapWithNext = true
+	}
+	return plan
+}

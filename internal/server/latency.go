@@ -1,0 +1,51 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// ObserveLatencyBounds are the upper bucket bounds, in seconds, of the
+// streamad_ingest_observe_seconds request-latency histogram: sub-ms
+// resolution at the bottom (scored-in-memory requests), stretching to
+// 2.5s so queue-backed tail latency under overload is still resolved.
+var ObserveLatencyBounds = [...]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// latencyHist is a fixed-bucket latency histogram updated with atomics
+// only — observe runs on every request, concurrently with scrapes, and
+// must not contend on a lock.
+type latencyHist struct {
+	buckets [len(ObserveLatencyBounds) + 1]atomic.Uint64 // +1: overflow (> last bound)
+	sumNs   atomic.Int64
+}
+
+// observe records one request duration.
+func (h *latencyHist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(ObserveLatencyBounds) && s > ObserveLatencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// write renders the histogram in Prometheus text exposition format.
+// Cumulative counts are accumulated from one pass over the buckets, so
+// le="+Inf" and _count always agree within a scrape even while requests
+// are landing concurrently.
+func (h *latencyHist) write(w io.Writer) {
+	fmt.Fprintln(w, "# HELP streamad_ingest_observe_seconds Observe request latency over both observe endpoints, from body receipt to the last result written.")
+	fmt.Fprintln(w, "# TYPE streamad_ingest_observe_seconds histogram")
+	var cum uint64
+	for i, bound := range ObserveLatencyBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "streamad_ingest_observe_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += h.buckets[len(ObserveLatencyBounds)].Load()
+	fmt.Fprintf(w, "streamad_ingest_observe_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "streamad_ingest_observe_seconds_sum %g\n", float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "streamad_ingest_observe_seconds_count %d\n", cum)
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and returns the raw exposition text.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// sampleValue extracts the integer value of the first sample line with
+// the given prefix.
+func sampleValue(t *testing.T, raw, prefix string) int {
+	t.Helper()
+	for _, line := range strings.Split(raw, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.Atoi(fields[len(fields)-1])
+		if err != nil {
+			t.Fatalf("non-integer sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no sample with prefix %q in scrape:\n%s", prefix, grepLines(raw, "observe_seconds"))
+	return 0
+}
+
+// TestObserveLatencyHistogram drives both observe endpoints and checks
+// the streamad_ingest_observe_seconds family: HELP/TYPE exposition,
+// cumulative bucket monotonicity, le="+Inf" == _count == request count,
+// and a positive _sum.
+func TestObserveLatencyHistogram(t *testing.T) {
+	ts := newIngestServer(t, Config{})
+
+	// Zero requests yet: family must still expose with count 0.
+	raw := scrape(t, ts.URL)
+	for _, want := range []string{
+		"# HELP streamad_ingest_observe_seconds ",
+		"# TYPE streamad_ingest_observe_seconds histogram",
+		`streamad_ingest_observe_seconds_bucket{le="+Inf"} 0`,
+		"streamad_ingest_observe_seconds_count 0",
+	} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("fresh scrape is missing %q:\n%s", want, grepLines(raw, "observe_seconds"))
+		}
+	}
+
+	// 3 batch requests + 2 single-vector requests = 5 observations; a
+	// batch counts once however many records it carries.
+	for i := 0; i < 3; i++ {
+		body := batchLine("lat-0", []float64{1, 2}) + batchLine("lat-1", []float64{2, 1})
+		if _, resp := postBatch(t, ts, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch status %d", resp.StatusCode)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/streams/lat-0/observe", "application/json",
+			strings.NewReader(`{"vector": [1, 2]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe status %d", resp.StatusCode)
+		}
+	}
+
+	raw = scrape(t, ts.URL)
+	if got := sampleValue(t, raw, "streamad_ingest_observe_seconds_count"); got != 5 {
+		t.Fatalf("observe_seconds_count = %d, want 5 (3 batches + 2 singles)", got)
+	}
+	if got := sampleValue(t, raw, `streamad_ingest_observe_seconds_bucket{le="+Inf"}`); got != 5 {
+		t.Fatalf(`le="+Inf" bucket = %d, want _count = 5`, got)
+	}
+	// Buckets are cumulative: non-decreasing in bound order, each ≤ count.
+	prev := 0
+	for _, bound := range ObserveLatencyBounds {
+		v := sampleValue(t, raw, fmt.Sprintf("streamad_ingest_observe_seconds_bucket{le=%q}", fmt.Sprintf("%g", bound)))
+		if v < prev || v > 5 {
+			t.Fatalf("bucket le=%g: %d not cumulative (prev %d, count 5):\n%s",
+				bound, v, prev, grepLines(raw, "observe_seconds"))
+		}
+		prev = v
+	}
+	var sum float64
+	if _, err := fmt.Sscanf(grepLines(raw, "streamad_ingest_observe_seconds_sum"), "streamad_ingest_observe_seconds_sum %g", &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum <= 0 {
+		t.Fatalf("observe_seconds_sum = %g, want > 0 after 5 requests", sum)
+	}
+}
+
+// TestBatchCapStructuredError: a batch one record over MaxBatchRecords
+// is rejected whole — 413, a JSON body naming the cap, and no partial
+// side effects (no stream was created, nothing was scored).
+func TestBatchCapStructuredError(t *testing.T) {
+	ts := newIngestServer(t, Config{})
+	line := batchLine("cap", []float64{1, 2})
+	var body strings.Builder
+	body.Grow((MaxBatchRecords + 1) * len(line))
+	for i := 0; i <= MaxBatchRecords; i++ {
+		body.WriteString(line)
+	}
+	resp, err := http.Post(ts.URL+"/v1/observe", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap batch = %d, want 413", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("413 Content-Type %q, want application/json", ct)
+	}
+	var ce BatchCapError
+	if err := json.NewDecoder(resp.Body).Decode(&ce); err != nil {
+		t.Fatalf("413 body is not the structured cap error: %v", err)
+	}
+	if ce.MaxBatchRecords != MaxBatchRecords {
+		t.Fatalf("max_batch_records = %d, want %d", ce.MaxBatchRecords, MaxBatchRecords)
+	}
+	if !strings.Contains(ce.Error, fmt.Sprint(MaxBatchRecords)) {
+		t.Fatalf("error %q does not name the cap", ce.Error)
+	}
+
+	// Rejected whole: the target stream must not exist.
+	lresp, err := http.Get(ts.URL + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var streams []streamListEntry
+	if err := json.NewDecoder(lresp.Body).Decode(&streams); err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 0 {
+		t.Fatalf("rejected batch leaked streams: %+v", streams)
+	}
+}
+
+// TestBatchAtCapAccepted pins the boundary: exactly MaxBatchRecords
+// records is still one valid batch.
+func TestBatchAtCapAccepted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cap batch")
+	}
+	ts := newIngestServer(t, Config{QueueDepth: 256})
+	line := batchLine("cap", []float64{1, 2})
+	var body strings.Builder
+	body.Grow(MaxBatchRecords * len(line))
+	for i := 0; i < MaxBatchRecords; i++ {
+		body.WriteString(line)
+	}
+	results, resp := postBatch(t, ts, body.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap batch = %d, want 200", resp.StatusCode)
+	}
+	if len(results) != MaxBatchRecords {
+		t.Fatalf("%d results, want %d", len(results), MaxBatchRecords)
+	}
+	if last := results[MaxBatchRecords-1]; last.Seq != MaxBatchRecords-1 || last.Error != "" {
+		t.Fatalf("last record: %+v", last)
+	}
+}

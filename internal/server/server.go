@@ -87,8 +87,9 @@ type Config struct {
 
 // Server is an http.Handler serving the scoring API.
 type Server struct {
-	reg *ingest.Registry
-	mux *http.ServeMux
+	reg    *ingest.Registry
+	mux    *http.ServeMux
+	obsLat latencyHist // streamad_ingest_observe_seconds
 }
 
 // New validates the configuration and returns a Server.
@@ -258,6 +259,8 @@ func retryAfterSeconds(d time.Duration) int {
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
+	start := time.Now()
+	defer func() { s.obsLat.observe(time.Since(start)) }()
 	var req observeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
@@ -380,40 +383,58 @@ type BatchResult struct {
 }
 
 const (
-	// maxBatchRecords bounds one POST /v1/observe body.
-	maxBatchRecords = 16384
+	// MaxBatchRecords bounds one POST /v1/observe body; larger batches
+	// are rejected whole with 413 and a BatchCapError naming the cap.
+	MaxBatchRecords = 16384
 	// maxRecordBytes bounds one NDJSON line.
 	maxRecordBytes = 1 << 20
 )
 
+// BatchCapError is the structured JSON body of a 413 response to a
+// POST /v1/observe batch exceeding MaxBatchRecords. Nothing from the
+// rejected batch is enqueued: clients can split and resend the whole
+// batch without double-scoring any record.
+type BatchCapError struct {
+	Error           string `json:"error"`
+	MaxBatchRecords int    `json:"max_batch_records"`
+}
+
 // handleBatchObserve is POST /v1/observe: an NDJSON batch of
-// {"stream","vector"} records spanning any number of streams. All
-// records are enqueued before any result is awaited, so consecutive
-// records for one stream coalesce into single dispatcher passes; the
-// response is NDJSON, one result per record, in request order. Records
-// shed by the overload policy are reported inline (the whole batch is
-// never failed for one hot stream).
+// {"stream","vector"} records spanning any number of streams. The body
+// is parsed and counted before anything touches a queue, so a batch
+// over MaxBatchRecords is rejected whole (413 + BatchCapError) with no
+// partial side effects. Admitted batches enqueue every record before
+// awaiting any result, so consecutive records for one stream coalesce
+// into single dispatcher passes; the response is NDJSON, one result per
+// record, in request order. Records shed by the overload policy are
+// reported inline (the whole batch is never failed for one hot stream).
 func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
+	defer func() { s.obsLat.observe(time.Since(start)) }()
 	type pending struct {
-		out  BatchResult // pre-filled for records that never reached a queue
+		rec  batchRecord
+		ok   bool        // rec parsed and validated; enqueue it below
+		out  BatchResult // pre-filled for records that never reach a queue
 		done <-chan ingest.Result
 	}
 	var pendings []pending
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), maxRecordBytes)
-	truncated := false
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
-		if len(pendings) >= maxBatchRecords {
-			truncated = true
-			break
+		if len(pendings) >= MaxBatchRecords {
+			writeJSON(w, http.StatusRequestEntityTooLarge, BatchCapError{
+				Error:           fmt.Sprintf("batch exceeds the %d-record cap; split it into smaller batches", MaxBatchRecords),
+				MaxBatchRecords: MaxBatchRecords,
+			})
+			return
 		}
 		var rec batchRecord
 		p := pending{}
@@ -425,19 +446,7 @@ func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 		case len(rec.Vector) == 0:
 			p.out = BatchResult{Stream: rec.Stream, Error: "empty vector"}
 		default:
-			ack, err := s.reg.Enqueue(rec.Stream, rec.Vector)
-			switch {
-			case errors.Is(err, ingest.ErrOverload):
-				p.out = BatchResult{
-					Stream: rec.Stream, Shed: true,
-					RetryAfterMs: s.reg.RetryAfter().Milliseconds(),
-				}
-			case err != nil:
-				p.out = BatchResult{Stream: rec.Stream, Error: err.Error()}
-			default:
-				p.out = BatchResult{Stream: rec.Stream, Seq: ack.Seq}
-				p.done = ack.Done
-			}
+			p.rec, p.ok = rec, true
 		}
 		pendings = append(pendings, p)
 	}
@@ -449,6 +458,25 @@ func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
+	for i := range pendings {
+		p := &pendings[i]
+		if !p.ok {
+			continue
+		}
+		ack, err := s.reg.Enqueue(p.rec.Stream, p.rec.Vector)
+		switch {
+		case errors.Is(err, ingest.ErrOverload):
+			p.out = BatchResult{
+				Stream: p.rec.Stream, Shed: true,
+				RetryAfterMs: s.reg.RetryAfter().Milliseconds(),
+			}
+		case err != nil:
+			p.out = BatchResult{Stream: p.rec.Stream, Error: err.Error()}
+		default:
+			p.out = BatchResult{Stream: p.rec.Stream, Seq: ack.Seq}
+			p.done = ack.Done
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -458,9 +486,6 @@ func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 			out = toBatchResult(out.Stream, <-p.done)
 		}
 		enc.Encode(out)
-	}
-	if truncated {
-		enc.Encode(BatchResult{Error: fmt.Sprintf("batch truncated after %d records", maxBatchRecords)})
 	}
 }
 
@@ -649,6 +674,7 @@ func (s *Server) writeIngestMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "streamad_ingest_batch_size_bucket{le=\"+Inf\"} %d\n", st.Batches)
 	fmt.Fprintf(w, "streamad_ingest_batch_size_sum %d\n", st.BatchSizeSum)
 	fmt.Fprintf(w, "streamad_ingest_batch_size_count %d\n", st.Batches)
+	s.obsLat.write(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
