@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak soak-smoke lint fmtcheck staticcheck vulncheck
+.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak bench-cascade soak-smoke cascade-smoke lint fmtcheck staticcheck vulncheck
 
 # ci is the fast gate; the race detector runs as its own CI job (make
-# race) so the concurrency suites don't slow the edit loop. soak-smoke
-# runs last: it needs a building tree, and it is the only target that
-# exercises a live streamadd end to end.
-ci: fmtcheck vet lint build test soak-smoke
+# race) so the concurrency suites don't slow the edit loop. The smoke
+# soaks run last: they need a building tree, and they are the only
+# targets that exercise a live streamadd end to end — soak-smoke on the
+# plain knn pipeline, cascade-smoke on the cascade(zscore, knn) screen.
+ci: fmtcheck vet lint build test soak-smoke cascade-smoke
 
 build:
 	$(GO) build ./...
@@ -78,3 +79,20 @@ bench-soak:
 # runs never dirty the checked-in benchmark.
 soak-smoke:
 	scripts/soak.sh smoke
+
+# cascade-smoke is the same smoke soak against a streamadd running the
+# cascade(zscore, knn) spec: recall must hold the plain-knn gate while
+# the tier-0 screen is engaged — the script additionally scrapes
+# /metrics and fails if any stream's admission rate reaches 50%.
+cascade-smoke:
+	scripts/soak.sh cascade
+
+# bench-cascade regenerates BENCH_cascade.json: one in-process run of
+# the abrupt-drift scenario through the always-on heavy pipeline and
+# through cascade(zscore, knn) on identical vectors, comparing mean
+# per-vector cost, recall under the shared alert policy, and the
+# conformal gate's observed false-admission rate against its target.
+# Exit 1 means a quality gate (>=5x cost cut, <=2pt recall loss,
+# admission within +/-50% of target) was missed.
+bench-cascade:
+	$(GO) run ./cmd/benchcascade -out BENCH_cascade.json

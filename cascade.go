@@ -1,0 +1,212 @@
+package streamad
+
+import (
+	"fmt"
+	"strings"
+
+	"streamad/internal/cascade"
+	"streamad/internal/tier0"
+)
+
+// Tier0Kind selects a tier-0 screening detector (internal/tier0): the
+// nanosecond-cost family that fronts a cascade or serves on its own.
+type Tier0Kind int
+
+const (
+	// Tier0EWMA is the EWMA-residual control-chart detector.
+	Tier0EWMA Tier0Kind = iota
+	// Tier0ZScore is the moving z-score over a per-channel ring.
+	Tier0ZScore
+	// Tier0Hampel is the streaming Hampel filter (median/MAD over a
+	// ring).
+	Tier0Hampel
+	// Tier0Density is the sliding-window mean-distance density detector.
+	Tier0Density
+)
+
+// String returns the spec-grammar name.
+func (t Tier0Kind) String() string { return specTier0Name(t) }
+
+// CascadeStats re-exports the cascade's per-tier counters.
+type CascadeStats = cascade.Stats
+
+var (
+	_ StreamDetector = (*Cascade)(nil)
+
+	// The tier-0 detectors are first-class StreamDetectors: usable
+	// standalone via NewFromSpec("zscore", …), as cascade gates, and
+	// through the whole serving stack.
+	_ StreamDetector = (*tier0.EWMA)(nil)
+	_ StreamDetector = (*tier0.ZScore)(nil)
+	_ StreamDetector = (*tier0.Hampel)(nil)
+	_ StreamDetector = (*tier0.Density)(nil)
+)
+
+// CascadeSpec describes a screening cascade: the tier-0 gate, the heavy
+// member specs (pipeline or ensemble grammar, canonicalized), and the
+// admission calibration. Zero values select the defaults (admit 0.1,
+// calib 128, gate window 64).
+type CascadeSpec struct {
+	// Gate is the tier-0 screening detector.
+	Gate Tier0Kind
+	// Heavy are the admitted-traffic member specs (at least one), each a
+	// pipeline spec ("knn+sw+musigma+al") or an ensemble(...) spec.
+	Heavy []string
+	// Admit is the target false-admission rate ε (0 = 0.1).
+	Admit float64
+	// Calib is the conformal calibration-window capacity (0 = 128).
+	Calib int
+	// GateWindow is the tier-0 gate's ring length (0 = 64).
+	GateWindow int
+}
+
+// String renders the spec in the grammar form accepted by
+// ParseCascadeSpec.
+func (c CascadeSpec) String() string {
+	admit := c.Admit
+	if admit == 0 {
+		admit = 0.1
+	}
+	s := "cascade(" + specTier0Name(c.Gate) + ", " + strings.Join(c.Heavy, ", ") +
+		fmt.Sprintf("; admit=%g", admit)
+	if c.Calib != 0 && c.Calib != 128 {
+		s += fmt.Sprintf(", calib=%d", c.Calib)
+	}
+	if c.GateWindow != 0 && c.GateWindow != 64 {
+		s += fmt.Sprintf(", gatewin=%d", c.GateWindow)
+	}
+	return s + ")"
+}
+
+// NewTier0 builds a standalone tier-0 detector. base supplies the stream
+// geometry (Channels is required; Seed drives Density's sampling); win
+// is the detector's ring length (0 = 64).
+func NewTier0(base Config, kind Tier0Kind, win int) (StreamDetector, error) {
+	if base.Channels <= 0 {
+		return nil, fmt.Errorf("streamad: Channels must be positive, got %d", base.Channels)
+	}
+	seed := base.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := tier0.Config{Channels: base.Channels, Window: win, Seed: seed}
+	switch kind {
+	case Tier0EWMA:
+		return tier0.NewEWMA(cfg)
+	case Tier0ZScore:
+		return tier0.NewZScore(cfg)
+	case Tier0Hampel:
+		return tier0.NewHampel(cfg)
+	case Tier0Density:
+		return tier0.NewDensity(cfg)
+	default:
+		return nil, fmt.Errorf("streamad: unknown Tier0Kind %d", int(kind))
+	}
+}
+
+// Cascade is the two-tier screening detector: the tier-0 gate scores
+// every vector and the heavy members only score vectors whose gate score
+// crosses the conformal admission threshold; see internal/cascade for
+// the semantics. Build one with NewCascade or NewFromSpec. Like Detector
+// and Ensemble, a Cascade is not safe for concurrent use.
+type Cascade struct {
+	inner *cascade.Cascade
+	spec  CascadeSpec
+}
+
+// NewCascade builds a screening cascade. base supplies the stream
+// geometry and tuning shared by every member, exactly as in NewEnsemble;
+// heavy member i runs with base.Seed + (i+1)·1000003 so members never
+// share a random stream with each other or the gate.
+func NewCascade(base Config, spec CascadeSpec) (*Cascade, error) {
+	if len(spec.Heavy) == 0 {
+		return nil, fmt.Errorf("streamad: a cascade needs at least one heavy member")
+	}
+	seed := base.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	gateBase := base
+	gateBase.Seed = seed
+	gate, err := NewTier0(gateBase, spec.Gate, spec.GateWindow)
+	if err != nil {
+		return nil, fmt.Errorf("streamad: cascade gate (%s): %w", spec.Gate, err)
+	}
+	heavy := make([]cascade.Member, len(spec.Heavy))
+	labels := make([]string, len(spec.Heavy))
+	for i, hs := range spec.Heavy {
+		if IsCascadeSpec(hs) {
+			return nil, fmt.Errorf("streamad: cascades do not nest (heavy member %q)", hs)
+		}
+		cfg := base
+		cfg.Seed = seed + int64(i+1)*memberSeedStride
+		det, err := NewFromSpec(hs, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("streamad: cascade heavy member %d (%s): %w", i, hs, err)
+		}
+		heavy[i] = det
+		labels[i] = hs
+	}
+	inner, err := cascade.New(cascade.Config{
+		Gate:        gate,
+		GateLabel:   specTier0Name(spec.Gate),
+		Heavy:       heavy,
+		HeavyLabels: labels,
+		Admit:       spec.Admit,
+		Calib:       spec.Calib,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("streamad: %w", err)
+	}
+	return &Cascade{inner: inner, spec: spec}, nil
+}
+
+// Step consumes the next stream vector; the Result's Source field names
+// the tier that produced the score ("tier0:zscore" for screened-out
+// vectors, "heavy:…" for admitted ones).
+func (c *Cascade) Step(s []float64) (Result, bool) { return c.inner.Step(s) }
+
+// Run scores an entire series with a validity mask.
+func (c *Cascade) Run(series [][]float64) (scores []float64, valid []bool) {
+	return c.inner.Run(series)
+}
+
+// Steps returns the number of stream vectors consumed.
+func (c *Cascade) Steps() int { return c.inner.Steps() }
+
+// FineTunes returns the steps on which a heavy member fine-tuned.
+func (c *Cascade) FineTunes() int { return c.inner.FineTunes() }
+
+// Stats returns the per-tier counters: screened/admitted/forwarded
+// totals, the admission rate and the calibration fill.
+func (c *Cascade) Stats() CascadeStats { return c.inner.Stats() }
+
+// CascadeStats is Stats under the name the ingestion layer's
+// CascadeStatser capability probes for, so cascade-backed streams get
+// their per-tier counters in stream stats and /metrics.
+func (c *Cascade) CascadeStats() CascadeStats { return c.inner.Stats() }
+
+// Spec returns the cascade's specification.
+func (c *Cascade) Spec() CascadeSpec { return c.spec }
+
+// FineTuneStats aggregates the heavy members' serve/train statistics.
+// Safe from any goroutine.
+func (c *Cascade) FineTuneStats() FineTuneStats { return c.inner.FineTuneStats() }
+
+// WaitFineTune drains every heavy member's in-flight asynchronous
+// fine-tune. Serialize with Step.
+func (c *Cascade) WaitFineTune() { c.inner.WaitFineTune() }
+
+// Save returns a binary checkpoint composing the gate's and every heavy
+// member's full checkpoint with the conformal calibration window and the
+// per-tier counters; a cascade restored with Load screens and scores
+// bit-identically to an uninterrupted run.
+func (c *Cascade) Save() ([]byte, error) { return c.inner.Save() }
+
+// Load restores a checkpoint produced by Save. The cascade must have
+// been built with the same specification and base configuration.
+func (c *Cascade) Load(data []byte) error { return c.inner.Load(data) }
+
+// Close stops any goroutines owned by ensemble heavy members. Optional
+// and idempotent.
+func (c *Cascade) Close() { c.inner.Close() }

@@ -43,18 +43,21 @@ import (
 //streamad:lifecycle — process entrypoint; the serve goroutine is joined by graceful Shutdown.
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		spec      = flag.String("spec", "", `pipeline or ensemble spec, e.g. "arima+sw+kswin" or "ensemble(arima+sw+kswin, usad+ares+regular; agg=median)"; overrides -model/-task1/-task2/-score`)
-		modelName = flag.String("model", "usad", "model: arima|arima-ons|pcb|ae|usad|nbeats|var|knn")
-		task1Name = flag.String("task1", "sw", "training-set strategy: sw|ures|ares")
-		task2Name = flag.String("task2", "musigma", "drift strategy: musigma|kswin|regular|adwin")
-		scoreName = flag.String("score", "likelihood", "anomaly score: avg|likelihood|raw")
-		channels  = flag.Int("channels", 0, "stream dimensionality N (required)")
-		window    = flag.Int("w", 32, "data representation length")
-		train     = flag.Int("m", 200, "training set size")
-		quantile  = flag.Float64("alert-quantile", 0.99, "adaptive alert quantile")
-		seed      = flag.Int64("seed", 1, "random seed")
-		asyncFT   = flag.Bool("async-finetune", false, "fine-tune on a background goroutine (serve/train split): scoring keeps serving the old model while the new one trains")
+		addr        = flag.String("addr", ":8080", "listen address")
+		spec        = flag.String("spec", "", `pipeline or ensemble spec, e.g. "arima+sw+kswin" or "ensemble(arima+sw+kswin, usad+ares+regular; agg=median)"; overrides -model/-task1/-task2/-score`)
+		modelName   = flag.String("model", "usad", "model: arima|arima-ons|pcb|ae|usad|nbeats|var|knn")
+		task1Name   = flag.String("task1", "sw", "training-set strategy: sw|ures|ares")
+		task2Name   = flag.String("task2", "musigma", "drift strategy: musigma|kswin|regular|adwin")
+		scoreName   = flag.String("score", "likelihood", "anomaly score: avg|likelihood|raw")
+		channels    = flag.Int("channels", 0, "stream dimensionality N (required)")
+		window      = flag.Int("w", 32, "data representation length")
+		train       = flag.Int("m", 200, "training set size")
+		alertPolicy = flag.String("alert-policy", "quantile", "alert decision rule: quantile (adaptive P² quantile) | conformal (sliding-window conformal p-value)")
+		quantile    = flag.Float64("alert-quantile", 0.99, "adaptive alert quantile (policy=quantile)")
+		alertEps    = flag.Float64("alert-epsilon", 0.01, "target false-positive rate of the conformal rule (policy=conformal)")
+		alertCalib  = flag.Int("alert-calib", 256, "conformal calibration-window capacity (policy=conformal)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		asyncFT     = flag.Bool("async-finetune", false, "fine-tune on a background goroutine (serve/train split): scoring keeps serving the old model while the new one trains")
 
 		stateDir     = flag.String("state-dir", "", "directory for snapshots and WALs (empty = no persistence)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "background checkpoint period (requires -state-dir)")
@@ -130,11 +133,29 @@ func main() {
 		defer store.Close()
 	}
 
-	srv, err := server.New(server.Config{
-		NewDetector: newDetector,
-		NewThresholder: func(string) score.Thresholder {
+	var newThresholder func(string) score.Thresholder
+	switch *alertPolicy {
+	case "quantile":
+		newThresholder = func(string) score.Thresholder {
 			return score.NewQuantileThresholder(*quantile)
-		},
+		}
+	case "conformal":
+		if *alertEps <= 0 || *alertEps >= 1 {
+			log.Fatalf("streamadd: -alert-epsilon must be in (0,1), got %g", *alertEps)
+		}
+		if *alertCalib < 1 {
+			log.Fatalf("streamadd: -alert-calib must be positive, got %d", *alertCalib)
+		}
+		newThresholder = func(string) score.Thresholder {
+			return score.NewConformal(*alertCalib, *alertEps)
+		}
+	default:
+		log.Fatalf("streamadd: unknown -alert-policy %q (want quantile or conformal)", *alertPolicy)
+	}
+
+	srv, err := server.New(server.Config{
+		NewDetector:      newDetector,
+		NewThresholder:   newThresholder,
 		Shards:           *shards,
 		QueueDepth:       *queueDepth,
 		Overload:         policy,

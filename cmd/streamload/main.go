@@ -48,6 +48,7 @@ func main() {
 		vectors  = flag.Int("vectors", 0, "vectors per stream (0: rate × duration)")
 		duration = flag.Duration("duration", 30*time.Second, "soak length when -vectors is 0")
 		warmup   = flag.Int("warmup", 64, "leading vectors per stream excluded from detection metrics")
+		tol      = flag.Int("tolerance", 0, "point-adjust window in vectors: a true anomaly counts as detected if an alert fires within N following vectors, and an alert within N vectors after a true anomaly is not a false alarm (0: exact per-record matching)")
 		seed     = flag.Int64("seed", 1, "base seed; per-stream generator and pacer seeds derive from it")
 		out      = flag.String("out", "BENCH_soak.json", "report path (empty: stdout only)")
 
@@ -63,6 +64,7 @@ func main() {
 		Addr: *addr, Spec: *spec, Seed: *seed,
 		Streams: *streams, Rate: *rate, Batch: *batch,
 		Vectors: *vectors, Duration: *duration, Warmup: *warmup,
+		Tolerance: *tol,
 		SLO: SLO{
 			MaxP99:       *sloP99,
 			MaxShedRate:  *sloShed,

@@ -42,6 +42,11 @@ type Config struct {
 	// Warmup excludes each stream's leading vectors from detection
 	// metrics (the detector is still filling its window).
 	Warmup int
+	// Tolerance is the point-adjust window, in vectors: a true anomaly
+	// at index i counts as detected if any alert fires in [i, i+N], and
+	// an alert at j is a false alarm only if no true anomaly sits in
+	// [j-N, j]. Zero keeps exact per-record matching.
+	Tolerance int
 	// SLO are the pass/fail gates evaluated over the final report.
 	SLO SLO
 	// Client overrides the pooled default HTTP client (tests).
@@ -69,6 +74,7 @@ type Report struct {
 	BatchRecords     int            `json:"batch_records"`
 	VectorsPerStream int            `json:"vectors_per_stream"`
 	WarmupVectors    int            `json:"warmup_vectors"`
+	ToleranceVectors int            `json:"tolerance_vectors"`
 	ElapsedSeconds   float64        `json:"elapsed_seconds"`
 	Requests         RequestStats   `json:"requests"`
 	Latency          LatencyStats   `json:"latency"`
@@ -105,7 +111,9 @@ type LatencyStats struct {
 
 // DetectionStats is the online confusion matrix over scored,
 // post-warmup records: the generator knows each record's ground-truth
-// label, the server's alert bit is the prediction.
+// label, the server's alert bit is the prediction. With a positive
+// tolerance the matrix is point-adjusted (see Config.Tolerance);
+// Evaluated, TrueAnomalies and Alerts are raw counts either way.
 type DetectionStats struct {
 	Evaluated      int     `json:"evaluated_records"`
 	TrueAnomalies  int     `json:"true_anomalies"`
@@ -165,6 +173,9 @@ func run(cfg Config) (*Report, error) {
 	if cfg.Warmup < 0 || cfg.Warmup >= vectors {
 		return nil, fmt.Errorf("streamload: warmup %d must be in [0, %d)", cfg.Warmup, vectors)
 	}
+	if cfg.Tolerance < 0 {
+		return nil, fmt.Errorf("streamload: tolerance %d must be non-negative", cfg.Tolerance)
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{
@@ -194,6 +205,7 @@ func run(cfg Config) (*Report, error) {
 			batch:  cfg.Batch,
 			total:  vectors,
 			warmup: cfg.Warmup,
+			tol:    cfg.Tolerance,
 		}
 		wg.Add(1)
 		go func(w *worker) {
@@ -208,10 +220,12 @@ func run(cfg Config) (*Report, error) {
 		Spec: cfg.Spec, Seed: cfg.Seed, Streams: cfg.Streams,
 		RatePerStream: finite(cfg.Rate), BatchRecords: cfg.Batch,
 		VectorsPerStream: vectors, WarmupVectors: cfg.Warmup,
-		ElapsedSeconds: finite(elapsed.Seconds()),
+		ToleranceVectors: cfg.Tolerance,
+		ElapsedSeconds:   finite(elapsed.Seconds()),
 	}
 	var lats []time.Duration
 	for _, w := range workers {
+		w.finalize()
 		// The generator's exact-contamination contract doubles as a
 		// harness self-check: the labels the worker paired with results
 		// must match ExactAnomalyCount to the record.
@@ -247,6 +261,7 @@ type worker struct {
 	batch  int
 	total  int
 	warmup int
+	tol    int
 
 	sent      int // vectors drawn so far
 	anomalies int // ground-truth anomalies drawn so far
@@ -254,6 +269,16 @@ type worker struct {
 	lat []time.Duration
 	rs  RequestStats
 	det DetectionStats
+	evs []tolEvent // deferred records awaiting point-adjust matching (tol > 0)
+}
+
+// tolEvent is one evaluated record held back for tolerant matching: the
+// confusion cell depends on neighbours that may not have been scored
+// yet, so classification waits until the stream's quota is exhausted.
+type tolEvent struct {
+	idx   int
+	truth bool
+	alert bool
 }
 
 func (w *worker) drive() {
@@ -384,6 +409,10 @@ func (w *worker) record(res server.BatchResult, truth bool, idx int) {
 		if res.Alert {
 			w.det.Alerts++
 		}
+		if w.tol > 0 {
+			w.evs = append(w.evs, tolEvent{idx: idx, truth: truth, alert: res.Alert})
+			return
+		}
 		switch {
 		case res.Alert && truth:
 			w.det.TruePositives++
@@ -395,6 +424,52 @@ func (w *worker) record(res server.BatchResult, truth bool, idx int) {
 			w.det.TrueNegatives++
 		}
 	}
+}
+
+// finalize classifies the deferred records with point-adjust matching:
+// a truth at i is a true positive iff an alert landed in [i, i+tol]; an
+// alert on a normal record at j is forgiven (a true negative) iff a
+// truth sits in [j-tol, j]. With tol == 0 nothing was deferred and this
+// is a no-op — the inline path already produced the exact-match matrix,
+// and the two agree at tol == 0 because each window collapses to the
+// record itself. Events are re-sorted because the reorder timing fault
+// can deliver batches out of stream order.
+func (w *worker) finalize() {
+	if len(w.evs) == 0 {
+		return
+	}
+	sort.Slice(w.evs, func(i, j int) bool { return w.evs[i].idx < w.evs[j].idx })
+	var truths, alerts []int
+	for _, e := range w.evs {
+		if e.truth {
+			truths = append(truths, e.idx)
+		}
+		if e.alert {
+			alerts = append(alerts, e.idx)
+		}
+	}
+	for _, e := range w.evs {
+		if e.truth {
+			k := sort.SearchInts(alerts, e.idx)
+			if k < len(alerts) && alerts[k] <= e.idx+w.tol {
+				w.det.TruePositives++
+			} else {
+				w.det.FalseNegatives++
+			}
+			continue
+		}
+		if !e.alert {
+			w.det.TrueNegatives++
+			continue
+		}
+		k := sort.SearchInts(truths, e.idx-w.tol)
+		if k < len(truths) && truths[k] <= e.idx {
+			w.det.TrueNegatives++
+		} else {
+			w.det.FalsePositives++
+		}
+	}
+	w.evs = nil
 }
 
 func addRequests(dst *RequestStats, src RequestStats) {

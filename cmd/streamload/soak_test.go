@@ -183,6 +183,94 @@ func TestRunTimingFaultsStillAccountExactly(t *testing.T) {
 	}
 }
 
+// lagDetector reports the previous vector's magnitude score: every
+// alert lands exactly one record after its cause, so exact matching
+// misses the first record of each burst and flags the record after the
+// last one, while point-adjust with tolerance 1 matches perfectly.
+type lagDetector struct {
+	n    int
+	prev float64
+}
+
+func (d *lagDetector) Step(v []float64) (core.Result, bool) {
+	if len(v) == 0 {
+		return core.Result{}, false
+	}
+	d.n++
+	sum := 0.0
+	for _, x := range v {
+		sum += math.Abs(x)
+	}
+	out := d.prev
+	d.prev = math.Tanh(sum / float64(len(v)))
+	if d.n <= 8 {
+		return core.Result{}, false
+	}
+	return core.Result{Score: out, Nonconformity: out}, true
+}
+
+// TestRunTolerancePointAdjust: against the one-step-late detector,
+// exact matching charges one false negative (the burst's first record)
+// and one false positive (the record after it ends) per burst, while
+// tolerance 1 absorbs both and recovers perfect detection.
+func TestRunTolerancePointAdjust(t *testing.T) {
+	newLagTarget := func() *httptest.Server {
+		srv, err := server.New(server.Config{
+			NewDetector: func(string) (server.Stepper, error) { return &lagDetector{}, nil },
+			// 0.98 sits above the base corpus's noise ceiling (gaussian
+			// magnitudes occasionally cross 0.9), so every alert is
+			// burst-driven and the only errors left are lag artifacts.
+			NewThresholder: func(string) score.Thresholder {
+				return &score.StaticThresholder{T: 0.98}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+
+	var reps [2]*Report
+	for i, tol := range []int{0, 1} {
+		cfg := soakConfig(newLagTarget().URL)
+		cfg.Tolerance = tol
+		rep, err := run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ToleranceVectors != tol {
+			t.Fatalf("report tolerance %d, want %d", rep.ToleranceVectors, tol)
+		}
+		reps[i] = rep
+	}
+	exact, adj := reps[0].Detection, reps[1].Detection
+
+	// Raw counts are matching-independent.
+	if exact.Evaluated != adj.Evaluated || exact.TrueAnomalies != adj.TrueAnomalies || exact.Alerts != adj.Alerts {
+		t.Fatalf("raw counts changed with tolerance:\n%+v\nvs\n%+v", exact, adj)
+	}
+	// Both matchings still classify every evaluated record exactly once.
+	for _, d := range []DetectionStats{exact, adj} {
+		if got := d.TruePositives + d.FalsePositives + d.FalseNegatives + d.TrueNegatives; got != d.Evaluated {
+			t.Fatalf("confusion cells (%d) do not add up to evaluated records (%d): %+v", got, d.Evaluated, d)
+		}
+	}
+	// Exact matching pays for the lag: one FN and one FP per burst.
+	if exact.FalseNegatives == 0 || exact.FalsePositives == 0 {
+		t.Fatalf("lagged detector scored perfectly under exact matching — lag plumbing broken: %+v", exact)
+	}
+	// Tolerance 1 covers a one-step lag completely.
+	if adj.Recall != 1 || adj.FalseNegatives != 0 || adj.FalsePositives != 0 {
+		t.Fatalf("tolerance 1 did not absorb a one-step lag: %+v", adj)
+	}
+	if adj.Recall <= exact.Recall {
+		t.Fatalf("tolerance did not improve recall: exact %.4f vs adjusted %.4f", exact.Recall, adj.Recall)
+	}
+}
+
 // TestRunValidation pins the harness-error paths (exit code 2 in main).
 func TestRunValidation(t *testing.T) {
 	for name, mutate := range map[string]func(*Config){
@@ -193,6 +281,7 @@ func TestRunValidation(t *testing.T) {
 		"bad spec":       func(c *Config) { c.Spec = "warp(base(corpus=gauss))" },
 		"no bound":       func(c *Config) { c.Vectors = 0; c.Duration = 0 },
 		"warmup too big": func(c *Config) { c.Warmup = c.Vectors },
+		"negative tol":   func(c *Config) { c.Tolerance = -1 },
 	} {
 		cfg := soakConfig("http://127.0.0.1:1")
 		mutate(&cfg)

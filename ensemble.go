@@ -189,18 +189,34 @@ func NewEnsemble(base Config, spec EnsembleSpec) (*Ensemble, error) {
 	return &Ensemble{inner: inner, spec: spec, base: base}, nil
 }
 
-// NewFromSpec builds a detector from a spec string: either a single
-// pipeline ("usad+sw+musigma+al") or an ensemble
-// ("ensemble(arima+sw+kswin, usad+ares+regular; agg=median)"). base
-// supplies everything the spec doesn't (Channels, Window, Seed, …); its
-// Model/Task1/Task2/Score are overridden by the spec.
+// NewFromSpec builds a detector from a spec string: a single pipeline
+// ("usad+sw+musigma+al"), an ensemble
+// ("ensemble(arima+sw+kswin, usad+ares+regular; agg=median)"), a
+// screening cascade ("cascade(zscore, knn; admit=0.05)") or a standalone
+// tier-0 detector ("hampel"). base supplies everything the spec doesn't
+// (Channels, Window, Seed, …); its Model/Task1/Task2/Score are
+// overridden by the spec.
 func NewFromSpec(spec string, base Config) (StreamDetector, error) {
+	if IsCascadeSpec(spec) {
+		cs, err := ParseCascadeSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewCascade(base, cs)
+	}
 	if IsEnsembleSpec(spec) {
 		es, err := ParseEnsembleSpec(spec)
 		if err != nil {
 			return nil, err
 		}
 		return NewEnsemble(base, es)
+	}
+	if IsTier0Spec(spec) {
+		kind, err := ParseTier0Kind(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, err
+		}
+		return NewTier0(base, kind, 0)
 	}
 	ps, err := ParsePipelineSpec(spec)
 	if err != nil {

@@ -1,0 +1,374 @@
+// Package cascade implements the two-tier screening detector: a tier-0
+// gate (internal/tier0) scores every vector for nanoseconds, and the
+// heavy members — full ML pipelines or ensembles — only see vectors
+// whose gate score is anomalous under a conformal admission test
+// (internal/score.Conformal). Screened-out vectors pass the gate's own
+// score and verdict through, so the cascade is a complete StreamDetector
+// with the cost profile of the gate on >90% of traffic.
+//
+// Admission is calibrated, not a raw percentile: the gate score's
+// conformal p-value against a sliding calibration window of recent gate
+// scores is compared to the target false-admission rate ε, so "admit"
+// means "this vector is in the gate's top ε tail regardless of the
+// score's scale or drift". Every gate score enters the calibration
+// window — admitted ones included — so the window tracks the marginal
+// score distribution and the observed false-admission rate stays ≈ ε
+// under exchangeability.
+//
+// Until the gate is ready, the calibration window has MinCalib scores
+// and every heavy member has scored at least once, vectors are forwarded
+// to the heavy tier unconditionally (counted separately as Forwarded):
+// heavy pipelines need the full stream to fill windows and warm up, and
+// an uncalibrated gate must not screen. Heavy members never see screened
+// vectors at all — their windows and training sets simply advance more
+// slowly — which is the entire cost win.
+package cascade
+
+import (
+	"fmt"
+
+	"streamad/internal/core"
+	"streamad/internal/score"
+)
+
+// Member is one detector of the cascade (the gate or a heavy member).
+// streamad.Detector, Ensemble and the tier-0 detectors all satisfy it.
+type Member interface {
+	Step(s []float64) (core.Result, bool)
+}
+
+// Checkpointer is the additional contract members must satisfy for the
+// cascade's Save/Load to compose them into a checkpoint.
+type Checkpointer interface {
+	Save() ([]byte, error)
+	Load([]byte) error
+}
+
+// Config assembles a Cascade.
+type Config struct {
+	// Gate is the tier-0 screening detector (required).
+	Gate Member
+	// GateLabel names the gate for stats and Result.Source (default
+	// "gate").
+	GateLabel string
+	// Heavy are the admitted-traffic detectors (required, at least one).
+	Heavy []Member
+	// HeavyLabels name the heavy members (optional; default "heavy-i").
+	HeavyLabels []string
+	// Admit is the target false-admission rate ε (default 0.1).
+	Admit float64
+	// Calib is the conformal calibration-window capacity (default 128).
+	Calib int
+	// MinCalib is the number of calibration scores required before
+	// screening activates (default max(32, ⌈1/Admit⌉), capped at Calib —
+	// below 1/ε−1 scores no vector can be admitted at all, so screening
+	// earlier would blind the heavy tier).
+	MinCalib int
+}
+
+// Cascade steps the gate on every vector and the heavy members on
+// admitted ones. Like core.Detector it is not safe for concurrent use;
+// callers serialize Step.
+type Cascade struct {
+	gate        Member
+	gateLabel   string
+	gateSource  string
+	heavy       []Member
+	heavyLabels []string
+	heavySource string
+	admit       float64
+	calib       int
+	minCalib    int
+	conf        *score.Conformal
+
+	heavyReady    []bool
+	allHeavyReady bool
+
+	steps     int
+	screened  int
+	admitted  int
+	forwarded int
+	fineTunes int
+	lastP     float64
+}
+
+// New validates the configuration and returns a Cascade.
+func New(cfg Config) (*Cascade, error) {
+	if cfg.Gate == nil {
+		return nil, fmt.Errorf("cascade: gate is required")
+	}
+	if len(cfg.Heavy) == 0 {
+		return nil, fmt.Errorf("cascade: need at least one heavy member")
+	}
+	if len(cfg.HeavyLabels) != 0 && len(cfg.HeavyLabels) != len(cfg.Heavy) {
+		return nil, fmt.Errorf("cascade: %d labels for %d heavy members", len(cfg.HeavyLabels), len(cfg.Heavy))
+	}
+	if cfg.Admit == 0 {
+		cfg.Admit = 0.1
+	}
+	if cfg.Admit <= 0 || cfg.Admit >= 1 {
+		return nil, fmt.Errorf("cascade: Admit must be in (0,1), got %g", cfg.Admit)
+	}
+	if cfg.Calib == 0 {
+		cfg.Calib = 128
+	}
+	if cfg.Calib < 8 {
+		return nil, fmt.Errorf("cascade: Calib must be at least 8, got %d", cfg.Calib)
+	}
+	if cfg.MinCalib == 0 {
+		cfg.MinCalib = 32
+		if need := int(1/cfg.Admit) + 1; need > cfg.MinCalib {
+			cfg.MinCalib = need
+		}
+		if cfg.MinCalib > cfg.Calib {
+			cfg.MinCalib = cfg.Calib
+		}
+	}
+	if cfg.MinCalib < 1 || cfg.MinCalib > cfg.Calib {
+		return nil, fmt.Errorf("cascade: MinCalib must be in [1, Calib=%d], got %d", cfg.Calib, cfg.MinCalib)
+	}
+	gateLabel := cfg.GateLabel
+	if gateLabel == "" {
+		gateLabel = "gate"
+	}
+	labels := make([]string, len(cfg.Heavy))
+	for i := range cfg.Heavy {
+		if cfg.Heavy[i] == nil {
+			return nil, fmt.Errorf("cascade: heavy member %d is nil", i)
+		}
+		labels[i] = fmt.Sprintf("heavy-%d", i)
+		if len(cfg.HeavyLabels) > 0 && cfg.HeavyLabels[i] != "" {
+			labels[i] = cfg.HeavyLabels[i]
+		}
+	}
+	heavySource := "heavy"
+	if len(cfg.Heavy) == 1 {
+		heavySource = "heavy:" + labels[0]
+	}
+	return &Cascade{
+		gate:        cfg.Gate,
+		gateLabel:   gateLabel,
+		gateSource:  "tier0:" + gateLabel,
+		heavy:       cfg.Heavy,
+		heavyLabels: labels,
+		heavySource: heavySource,
+		admit:       cfg.Admit,
+		calib:       cfg.Calib,
+		minCalib:    cfg.MinCalib,
+		conf:        score.NewConformal(cfg.Calib, cfg.Admit),
+		heavyReady:  make([]bool, len(cfg.Heavy)),
+		lastP:       1,
+	}, nil
+}
+
+// Step consumes the next stream vector: the gate scores it, its score
+// joins the conformal calibration window, and the vector reaches the
+// heavy members only when screening is inactive (ramp-up) or the gate
+// p-value is ≤ ε. ok is false only while neither tier can score.
+//
+//streamad:hotpath
+func (c *Cascade) Step(s []float64) (core.Result, bool) {
+	c.steps++
+	gRes, gOK := c.gate.Step(s)
+	if gOK {
+		c.lastP = c.conf.PValue(gRes.Score)
+		c.conf.Observe(gRes.Score)
+	}
+	if gOK && c.allHeavyReady && c.conf.N() >= c.minCalib {
+		// Screening is active: the conformal gate decides.
+		if c.lastP > c.admit {
+			c.screened++
+			gRes.Source = c.gateSource
+			// Screened results carry the gate's bounded score as their
+			// nonconformity: the gate's raw nonconformity is on the
+			// tier-0 z-scale, and letting it into the mixed stream a
+			// downstream thresholder sees would drown the heavy members'
+			// [0,1]-calibrated scores.
+			gRes.Nonconformity = gRes.Score
+			return gRes, true
+		}
+		c.admitted++
+	} else {
+		c.forwarded++
+	}
+
+	// Forward to the heavy tier and combine by unweighted mean over the
+	// ready members.
+	var sumF, sumA float64
+	nReady := 0
+	fineTuned := false
+	for i, m := range c.heavy {
+		res, ok := m.Step(s)
+		if !ok {
+			continue
+		}
+		c.heavyReady[i] = true
+		nReady++
+		sumF += res.Score
+		sumA += res.Nonconformity
+		if res.FineTuned {
+			fineTuned = true
+		}
+	}
+	if fineTuned {
+		c.fineTunes++
+	}
+	if !c.allHeavyReady && nReady == len(c.heavy) {
+		all := true
+		for _, r := range c.heavyReady {
+			all = all && r
+		}
+		c.allHeavyReady = all
+	}
+	if nReady > 0 {
+		n := float64(nReady)
+		return core.Result{
+			Nonconformity: sumA / n,
+			Score:         sumF / n,
+			FineTuned:     fineTuned,
+			Source:        c.heavySource,
+		}, true
+	}
+	// Heavy tier still warming; the gate's score is better than silence.
+	if gOK {
+		gRes.Source = c.gateSource
+		return gRes, true
+	}
+	return core.Result{}, false
+}
+
+// Run scores an entire series with a validity mask.
+func (c *Cascade) Run(series [][]float64) (scores []float64, valid []bool) {
+	scores = make([]float64, len(series))
+	valid = make([]bool, len(series))
+	for i, s := range series {
+		if res, ok := c.Step(s); ok {
+			scores[i] = res.Score
+			valid[i] = true
+		}
+	}
+	return scores, valid
+}
+
+// Steps returns the number of stream vectors consumed.
+func (c *Cascade) Steps() int { return c.steps }
+
+// FineTunes returns the steps on which at least one heavy member
+// fine-tuned.
+func (c *Cascade) FineTunes() int { return c.fineTunes }
+
+// Stats is the cascade's observable state, exposed per stream by the
+// HTTP server's stats endpoint and /metrics.
+type Stats struct {
+	// GateLabel names the tier-0 gate.
+	GateLabel string
+	// HeavyLabels name the heavy members.
+	HeavyLabels []string
+	// Steps is the total vectors consumed.
+	Steps int
+	// Screened counts vectors answered by the gate alone.
+	Screened int
+	// Admitted counts vectors the conformal gate sent to the heavy tier
+	// while screening was active.
+	Admitted int
+	// Forwarded counts vectors sent to the heavy tier unconditionally
+	// during ramp-up (gate warmup, calibration fill, heavy warmup).
+	Forwarded int
+	// AdmitTarget is the configured false-admission rate ε.
+	AdmitTarget float64
+	// CalibN and CalibCap are the calibration window's fill and capacity.
+	CalibN   int
+	CalibCap int
+	// Screening reports whether the gate is currently deciding (as
+	// opposed to ramp-up forwarding).
+	Screening bool
+	// AdmissionRate is Admitted/(Admitted+Screened) — the observed
+	// admission fraction among gate decisions (0 before any decision).
+	AdmissionRate float64
+	// HeavyRate is (Admitted+Forwarded)/Steps — the fraction of all
+	// traffic that reached the heavy tier.
+	HeavyRate float64
+	// LastPValue is the most recent gate-score p-value.
+	LastPValue float64
+}
+
+// Stats returns a snapshot of the cascade's counters. Callers must
+// serialize it with Step.
+func (c *Cascade) Stats() Stats {
+	st := Stats{
+		GateLabel:   c.gateLabel,
+		HeavyLabels: append([]string(nil), c.heavyLabels...),
+		Steps:       c.steps,
+		Screened:    c.screened,
+		Admitted:    c.admitted,
+		Forwarded:   c.forwarded,
+		AdmitTarget: c.admit,
+		CalibN:      c.conf.N(),
+		CalibCap:    c.calib,
+		Screening:   c.allHeavyReady && c.conf.N() >= c.minCalib,
+		LastPValue:  c.lastP,
+	}
+	if dec := c.admitted + c.screened; dec > 0 {
+		st.AdmissionRate = float64(c.admitted) / float64(dec)
+	}
+	if c.steps > 0 {
+		st.HeavyRate = float64(c.admitted+c.forwarded) / float64(c.steps)
+	}
+	return st
+}
+
+// Gate returns the tier-0 gate detector.
+func (c *Cascade) Gate() Member { return c.gate }
+
+// Heavy returns the heavy members in cascade order.
+func (c *Cascade) Heavy() []Member {
+	out := make([]Member, len(c.heavy))
+	copy(out, c.heavy)
+	return out
+}
+
+// FineTuneStats aggregates the heavy members' serve/train statistics,
+// mirroring Ensemble.FineTuneStats. Safe from any goroutine.
+func (c *Cascade) FineTuneStats() core.FineTuneStats {
+	agg := core.FineTuneStats{Buckets: make([]uint64, len(core.FineTuneBuckets)+1)}
+	for _, m := range c.heavy {
+		fs, ok := m.(interface{ FineTuneStats() core.FineTuneStats })
+		if !ok {
+			continue
+		}
+		st := fs.FineTuneStats()
+		agg.Async = agg.Async || st.Async
+		agg.InFlight = agg.InFlight || st.InFlight
+		agg.Launched += st.Launched
+		agg.Skipped += st.Skipped
+		agg.Completed += st.Completed
+		if st.LastSeconds > agg.LastSeconds {
+			agg.LastSeconds = st.LastSeconds
+		}
+		agg.TotalSeconds += st.TotalSeconds
+		for i := range st.Buckets {
+			agg.Buckets[i] += st.Buckets[i]
+		}
+	}
+	return agg
+}
+
+// WaitFineTune drains every heavy member's in-flight asynchronous
+// fine-tune. Serialize with Step, like the members themselves.
+func (c *Cascade) WaitFineTune() {
+	for _, m := range c.heavy {
+		if w, ok := m.(interface{ WaitFineTune() }); ok {
+			w.WaitFineTune()
+		}
+	}
+}
+
+// Close stops any member-owned goroutines (ensemble heavy members).
+// Optional and idempotent, like Ensemble.Close.
+func (c *Cascade) Close() {
+	for _, m := range c.heavy {
+		if cl, ok := m.(interface{ Close() }); ok {
+			cl.Close()
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package cascade
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshotVersion identifies the Cascade.Save envelope layout.
+const snapshotVersion = 1
+
+// snapshot is the serializable envelope of a cascade checkpoint: the
+// configuration fingerprint, the gate's and every heavy member's own
+// full checkpoint, the conformal calibration window and the cascade's
+// counters.
+type snapshot struct {
+	Version    int
+	Admit      float64
+	Calib      int
+	MinCalib   int
+	GateLabel  string
+	Labels     []string
+	Gate       []byte
+	Heavy      [][]byte
+	Conformal  []byte
+	HeavyReady []bool
+	AllReady   bool
+	Steps      int
+	Screened   int
+	Admitted   int
+	Forwarded  int
+	FineTunes  int
+	LastP      float64
+}
+
+// Save returns a binary checkpoint composing the gate's and every heavy
+// member's full checkpoint with the conformal calibration window and the
+// cascade counters. A cascade restored with Load screens and scores
+// bit-identically to an uninterrupted run.
+func (c *Cascade) Save() ([]byte, error) {
+	gck, ok := c.gate.(Checkpointer)
+	if !ok {
+		return nil, fmt.Errorf("cascade: gate (%s) does not support checkpointing", c.gateLabel)
+	}
+	gate, err := gck.Save()
+	if err != nil {
+		return nil, fmt.Errorf("cascade: gate (%s): %w", c.gateLabel, err)
+	}
+	conf, err := c.conf.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("cascade: %w", err)
+	}
+	snap := snapshot{
+		Version:    snapshotVersion,
+		Admit:      c.admit,
+		Calib:      c.calib,
+		MinCalib:   c.minCalib,
+		GateLabel:  c.gateLabel,
+		Labels:     append([]string(nil), c.heavyLabels...),
+		Gate:       gate,
+		Heavy:      make([][]byte, len(c.heavy)),
+		Conformal:  conf,
+		HeavyReady: append([]bool(nil), c.heavyReady...),
+		AllReady:   c.allHeavyReady,
+		Steps:      c.steps,
+		Screened:   c.screened,
+		Admitted:   c.admitted,
+		Forwarded:  c.forwarded,
+		FineTunes:  c.fineTunes,
+		LastP:      c.lastP,
+	}
+	for i, m := range c.heavy {
+		ck, ok := m.(Checkpointer)
+		if !ok {
+			return nil, fmt.Errorf("cascade: heavy member %d (%s) does not support checkpointing", i, c.heavyLabels[i])
+		}
+		blob, err := ck.Save()
+		if err != nil {
+			return nil, fmt.Errorf("cascade: heavy member %d (%s): %w", i, c.heavyLabels[i], err)
+		}
+		snap.Heavy[i] = blob
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("cascade: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores a checkpoint produced by Save. The cascade must have
+// been built with the same configuration (admission rate, calibration
+// window, member layout); each member additionally validates its own
+// blob, so mismatched member configurations are rejected before any
+// cascade-level state is touched.
+func (c *Cascade) Load(data []byte) error {
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("cascade: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("cascade: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+	switch {
+	case snap.Admit != c.admit:
+		return fmt.Errorf("cascade: snapshot admit=%v does not match cascade admit=%v", snap.Admit, c.admit)
+	case snap.Calib != c.calib || snap.MinCalib != c.minCalib:
+		return fmt.Errorf("cascade: snapshot calibration (%d/%d) does not match cascade (%d/%d)",
+			snap.MinCalib, snap.Calib, c.minCalib, c.calib)
+	case snap.GateLabel != c.gateLabel:
+		return fmt.Errorf("cascade: snapshot gate %q does not match cascade gate %q", snap.GateLabel, c.gateLabel)
+	case len(snap.Heavy) != len(c.heavy) || len(snap.HeavyReady) != len(c.heavy):
+		return fmt.Errorf("cascade: snapshot has %d heavy members, cascade has %d", len(snap.Heavy), len(c.heavy))
+	}
+	for i, l := range snap.Labels {
+		if i >= len(c.heavyLabels) || l != c.heavyLabels[i] {
+			return fmt.Errorf("cascade: snapshot heavy member %d is %q, cascade has %q", i, l, c.heavyLabels[i])
+		}
+	}
+	gck, ok := c.gate.(Checkpointer)
+	if !ok {
+		return fmt.Errorf("cascade: gate (%s) does not support checkpointing", c.gateLabel)
+	}
+	if err := gck.Load(snap.Gate); err != nil {
+		return fmt.Errorf("cascade: gate (%s): %w", c.gateLabel, err)
+	}
+	for i, m := range c.heavy {
+		ck, ok := m.(Checkpointer)
+		if !ok {
+			return fmt.Errorf("cascade: heavy member %d (%s) does not support checkpointing", i, c.heavyLabels[i])
+		}
+		if err := ck.Load(snap.Heavy[i]); err != nil {
+			return fmt.Errorf("cascade: heavy member %d (%s): %w", i, c.heavyLabels[i], err)
+		}
+	}
+	if err := c.conf.UnmarshalBinary(snap.Conformal); err != nil {
+		return fmt.Errorf("cascade: %w", err)
+	}
+	copy(c.heavyReady, snap.HeavyReady)
+	c.allHeavyReady = snap.AllReady
+	c.steps = snap.Steps
+	c.screened = snap.Screened
+	c.admitted = snap.Admitted
+	c.forwarded = snap.Forwarded
+	c.fineTunes = snap.FineTunes
+	c.lastP = snap.LastP
+	return nil
+}

@@ -160,6 +160,11 @@ type Result struct {
 	// error (length N, sums to 1). The slice is reused across steps; copy
 	// it to retain.
 	Attribution []float64
+	// Source names the member or tier that produced this result, for
+	// detectors composed of several ("tier0:zscore", "heavy:knn+sw+…").
+	// Empty for single-pipeline detectors and ensembles, whose score has
+	// exactly one provenance.
+	Source string
 }
 
 // Detector runs the streaming anomaly detection loop. Step, Run,

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamad/internal/cascade"
 	"streamad/internal/core"
 	"streamad/internal/ensemble"
 	"streamad/internal/persist"
@@ -64,6 +65,14 @@ type Checkpointer interface {
 // surfaced in stream stats and /metrics.
 type MemberStatser interface {
 	MemberStats() []ensemble.MemberStat
+}
+
+// CascadeStatser is the optional Stepper extension implemented by
+// cascade-backed detectors (streamad.Cascade): the per-tier
+// screened/admitted/forwarded counters, surfaced in stream stats and the
+// streamad_cascade_* metric families.
+type CascadeStatser interface {
+	CascadeStats() cascade.Stats
 }
 
 // ErrOverload is returned by admission under the Shed policy when the
@@ -202,6 +211,10 @@ type Result struct {
 	Threshold     float64
 	Alert         bool
 	FineTuned     bool
+	// Source names the tier or member that produced the score, for
+	// composite detectors ("tier0:zscore", "heavy:knn+sw+musigma+al");
+	// empty for single-pipeline detectors.
+	Source string
 	// Dropped marks a vector discarded by the DropOldest policy before
 	// it reached the detector.
 	Dropped bool
@@ -478,6 +491,7 @@ func (r *Registry) processLocked(st *stream, it item) Result {
 		Score:         res.Score,
 		Nonconformity: res.Nonconformity,
 		FineTuned:     res.FineTuned,
+		Source:        res.Source,
 	}
 	// Read the boundary before Alert consumes the score, as the serial
 	// path always has: the quantile policy reports +Inf until warm.
@@ -598,6 +612,10 @@ type StreamInfo struct {
 	QueueLen  int
 	Threshold float64
 	Members   []ensemble.MemberStat // ensemble-backed streams only
+	// Cascade carries the per-tier screening counters for cascade-backed
+	// streams (nil otherwise). Like Members it needs the detector
+	// quiescent, so it is omitted when the stream is mid-pass.
+	Cascade *cascade.Stats
 	// FineTune carries the detector's serve/train split statistics when
 	// it exposes them (nil otherwise). Read from lock-free atomics, so
 	// the scrape never waits on an in-flight processing pass.
@@ -656,6 +674,11 @@ func (r *Registry) streamInfo(st *stream) StreamInfo {
 	// the counters above are still fresh.
 	if ms, ok := st.det.(MemberStatser); ok && st.procMu.TryLock() {
 		info.Members = ms.MemberStats()
+		st.procMu.Unlock()
+	}
+	if cs, ok := st.det.(CascadeStatser); ok && st.procMu.TryLock() {
+		stats := cs.CascadeStats()
+		info.Cascade = &stats
 		st.procMu.Unlock()
 	}
 	if fs, ok := st.det.(FineTuneStatser); ok {

@@ -8,7 +8,7 @@ import (
 )
 
 func TestHotAlloc(t *testing.T) {
-	linttest.Run(t, "testdata/src", lint.HotAlloc, "hotalloc")
+	linttest.Run(t, "testdata/src", lint.HotAlloc, "hotalloc", "tier0")
 }
 
 func TestDetRand(t *testing.T) {

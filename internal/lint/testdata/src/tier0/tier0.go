@@ -1,0 +1,84 @@
+// Package tier0 is the hotalloc fixture for the tier-0 detector idiom:
+// the ring-buffer and incremental-statistics kernels that
+// internal/tier0's Step methods are built from must stay
+// allocation-free, while the naive window-copy formulations are
+// flagged.
+package tier0
+
+var sink float64
+
+// zscore mirrors the moving z-score detector: a preallocated ring with
+// rolling first and second moments.
+type zscore struct {
+	ring   []float64
+	sum    float64
+	sumsq  float64
+	n, pos int
+}
+
+// step is the shape a tier-0 kernel must take: in-place ring
+// replacement and O(1) moment updates, nothing allocates.
+//
+//streamad:hotpath
+func (z *zscore) step(x float64) float64 {
+	if z.n == len(z.ring) {
+		old := z.ring[z.pos]
+		z.sum -= old
+		z.sumsq -= old * old
+	} else {
+		z.n++
+	}
+	z.ring[z.pos] = x
+	z.pos++
+	if z.pos == len(z.ring) {
+		z.pos = 0
+	}
+	z.sum += x
+	z.sumsq += x * x
+	return z.sum / float64(len(z.ring))
+}
+
+// stepNaive recomputes the window from scratch each step: every
+// construct it leans on is an allocation the analyzer must flag.
+//
+//streamad:hotpath
+func (z *zscore) stepNaive(x float64) float64 {
+	grown := append(z.ring, x)            // want `append may grow its backing array`
+	window := make([]float64, len(grown)) // want `make allocates on a hot path`
+	copy(window, grown)
+	var s float64
+	for _, v := range window {
+		s += v
+	}
+	sink = s
+	return s
+}
+
+// hampel mirrors the streaming Hampel filter: the ring's sorted view is
+// maintained by an in-place shift, never rebuilt.
+type hampel struct {
+	sorted []float64
+}
+
+// replace drops old from the sorted view and inserts x: two copy shifts
+// over the preallocated backing array, no allocation.
+//
+//streamad:hotpath
+func (h *hampel) replace(old, x float64) {
+	i := 0
+	for i < len(h.sorted) && h.sorted[i] < old {
+		i++
+	}
+	copy(h.sorted[i:], h.sorted[i+1:])
+	h.sorted = h.sorted[:len(h.sorted)-1]
+	j := 0
+	for j < len(h.sorted) && h.sorted[j] < x {
+		j++
+	}
+	h.sorted = h.sorted[:len(h.sorted)+1]
+	copy(h.sorted[j+1:], h.sorted[j:])
+	h.sorted[j] = x
+}
+
+var _ = (*zscore)(nil).stepNaive
+var _ = (*hampel)(nil).replace

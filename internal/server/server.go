@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"streamad/internal/cascade"
 	"streamad/internal/core"
 	"streamad/internal/ensemble"
 	"streamad/internal/ingest"
@@ -172,7 +173,11 @@ type ObserveResponse struct {
 	Alert         bool    `json:"alert"`
 	Threshold     float64 `json:"threshold,omitempty"`
 	FineTuned     bool    `json:"fine_tuned,omitempty"`
-	Step          int     `json:"step"`
+	// Source attributes the score to the tier or member that produced it
+	// for composite detectors ("tier0:zscore" for cascade-screened
+	// vectors, "heavy:…" for admitted ones); empty otherwise.
+	Source string `json:"source,omitempty"`
+	Step   int    `json:"step"`
 	// Dropped marks a vector the drop-oldest overload policy discarded
 	// before scoring; its sequence number was consumed but no score exists.
 	Dropped bool `json:"dropped,omitempty"`
@@ -201,7 +206,31 @@ type StatsResponse struct {
 	Queued    int             `json:"queued,omitempty"`
 	Threshold float64         `json:"threshold,omitempty"`
 	Members   []MemberStatus  `json:"members,omitempty"`
+	Cascade   *CascadeStatus  `json:"cascade,omitempty"`
 	FineTune  *FineTuneStatus `json:"fine_tune,omitempty"`
+}
+
+// CascadeStatus is the screening-cascade section of StatsResponse,
+// present only for cascade-backed streams: the per-tier traffic split
+// and the conformal admission gate's state.
+type CascadeStatus struct {
+	Gate  string   `json:"gate"`
+	Heavy []string `json:"heavy"`
+	// Screened/Admitted/Forwarded partition the consumed vectors (see
+	// the cascade package for the ramp-up semantics of Forwarded).
+	Screened  int `json:"screened"`
+	Admitted  int `json:"admitted"`
+	Forwarded int `json:"forwarded"`
+	// AdmitTarget is the configured false-admission rate ε;
+	// AdmissionRate is the observed fraction among gate decisions.
+	AdmitTarget   float64 `json:"admit_target"`
+	AdmissionRate float64 `json:"admission_rate"`
+	// HeavyRate is the fraction of all traffic that reached the heavy
+	// tier — the cascade's cost profile.
+	HeavyRate float64 `json:"heavy_rate"`
+	CalibN    int     `json:"calibration_n"`
+	CalibCap  int     `json:"calibration_cap"`
+	Screening bool    `json:"screening"`
 }
 
 // FineTuneStatus is the serve/train split section of StatsResponse:
@@ -302,6 +331,7 @@ func toObserveResponse(res ingest.Result) ObserveResponse {
 	out.Nonconformity = finiteOrZero(res.Nonconformity)
 	out.FineTuned = res.FineTuned
 	out.Alert = res.Alert
+	out.Source = res.Source
 	// The quantile policy reports +Inf until it has enough scores —
 	// leave the field empty until the threshold is real.
 	out.Threshold = finiteOrZero(res.Threshold)
@@ -332,6 +362,21 @@ func (s *Server) handleStats(w http.ResponseWriter, id string) {
 				Disabled:  m.Disabled,
 				LastScore: finiteOrZero(m.LastScore),
 			}
+		}
+	}
+	if cs := info.Cascade; cs != nil {
+		resp.Cascade = &CascadeStatus{
+			Gate:          cs.GateLabel,
+			Heavy:         cs.HeavyLabels,
+			Screened:      cs.Screened,
+			Admitted:      cs.Admitted,
+			Forwarded:     cs.Forwarded,
+			AdmitTarget:   cs.AdmitTarget,
+			AdmissionRate: finiteOrZero(cs.AdmissionRate),
+			HeavyRate:     finiteOrZero(cs.HeavyRate),
+			CalibN:        cs.CalibN,
+			CalibCap:      cs.CalibCap,
+			Screening:     cs.Screening,
 		}
 	}
 	if ft := info.FineTune; ft != nil {
@@ -373,6 +418,9 @@ type BatchResult struct {
 	Alert         bool    `json:"alert,omitempty"`
 	Threshold     float64 `json:"threshold,omitempty"`
 	FineTuned     bool    `json:"fine_tuned,omitempty"`
+	// Source attributes the score to the producing tier or member for
+	// composite detectors (see ObserveResponse.Source).
+	Source string `json:"source,omitempty"`
 	// Shed marks a vector rejected by the shed overload policy; retry
 	// after RetryAfterMs.
 	Shed         bool  `json:"shed,omitempty"`
@@ -505,6 +553,7 @@ func toBatchResult(stream string, res ingest.Result) BatchResult {
 		out.Nonconformity = finiteOrZero(res.Nonconformity)
 		out.Alert = res.Alert
 		out.FineTuned = res.FineTuned
+		out.Source = res.Source
 		out.Threshold = finiteOrZero(res.Threshold)
 	}
 	return out
@@ -540,6 +589,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "streamad_alerts_total{stream=%q} %d\n", r.ID, r.Alerts)
 	}
 	writeFineTuneMetrics(w, rows)
+	writeCascadeMetrics(w, rows)
 	s.writeIngestMetrics(w)
 	hasMembers := false
 	for _, r := range rows {
@@ -641,6 +691,68 @@ func writeFineTuneMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
 		fmt.Fprintf(w, "streamad_finetune_seconds_sum{stream=%q} %g\n", r.ID, ft.TotalSeconds)
 		fmt.Fprintf(w, "streamad_finetune_seconds_count{stream=%q} %d\n", r.ID, ft.Completed)
 	}
+}
+
+// writeCascadeMetrics renders the streamad_cascade_* families for every
+// cascade-backed stream: the per-tier traffic counters and the conformal
+// admission gate's target and observed rates.
+func writeCascadeMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
+	any := false
+	for _, r := range rows {
+		if r.Cascade != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	cascadeRows := func(emit func(r ingest.StreamInfo, cs *cascade.Stats)) {
+		for _, r := range rows {
+			if r.Cascade != nil {
+				emit(r, r.Cascade)
+			}
+		}
+	}
+	fmt.Fprintln(w, "# HELP streamad_cascade_screened_total Vectors answered by the tier-0 gate alone.")
+	fmt.Fprintln(w, "# TYPE streamad_cascade_screened_total counter")
+	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		fmt.Fprintf(w, "streamad_cascade_screened_total{stream=%q,gate=%q} %d\n", r.ID, cs.GateLabel, cs.Screened)
+	})
+	fmt.Fprintln(w, "# HELP streamad_cascade_admitted_total Vectors the conformal gate admitted to the heavy tier.")
+	fmt.Fprintln(w, "# TYPE streamad_cascade_admitted_total counter")
+	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		fmt.Fprintf(w, "streamad_cascade_admitted_total{stream=%q,gate=%q} %d\n", r.ID, cs.GateLabel, cs.Admitted)
+	})
+	fmt.Fprintln(w, "# HELP streamad_cascade_forwarded_total Vectors forwarded to the heavy tier unconditionally during ramp-up.")
+	fmt.Fprintln(w, "# TYPE streamad_cascade_forwarded_total counter")
+	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		fmt.Fprintf(w, "streamad_cascade_forwarded_total{stream=%q,gate=%q} %d\n", r.ID, cs.GateLabel, cs.Forwarded)
+	})
+	fmt.Fprintln(w, "# HELP streamad_cascade_admit_target Configured false-admission rate epsilon of the conformal gate.")
+	fmt.Fprintln(w, "# TYPE streamad_cascade_admit_target gauge")
+	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		fmt.Fprintf(w, "streamad_cascade_admit_target{stream=%q} %g\n", r.ID, cs.AdmitTarget)
+	})
+	fmt.Fprintln(w, "# HELP streamad_cascade_admission_rate Observed admission fraction among gate decisions.")
+	fmt.Fprintln(w, "# TYPE streamad_cascade_admission_rate gauge")
+	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		fmt.Fprintf(w, "streamad_cascade_admission_rate{stream=%q} %g\n", r.ID, cs.AdmissionRate)
+	})
+	fmt.Fprintln(w, "# HELP streamad_cascade_heavy_rate Fraction of all traffic that reached the heavy tier.")
+	fmt.Fprintln(w, "# TYPE streamad_cascade_heavy_rate gauge")
+	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		fmt.Fprintf(w, "streamad_cascade_heavy_rate{stream=%q} %g\n", r.ID, cs.HeavyRate)
+	})
+	fmt.Fprintln(w, "# HELP streamad_cascade_screening Whether the conformal gate is currently screening (0 = ramp-up forwarding).")
+	fmt.Fprintln(w, "# TYPE streamad_cascade_screening gauge")
+	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		v := 0
+		if cs.Screening {
+			v = 1
+		}
+		fmt.Fprintf(w, "streamad_cascade_screening{stream=%q} %d\n", r.ID, v)
+	})
 }
 
 // writeIngestMetrics renders the streamad_ingest_* families from one

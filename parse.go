@@ -167,6 +167,46 @@ func specScoreName(s ScoreKind) string {
 	}
 }
 
+// ParseTier0Kind converts a tier-0 detector name into a Tier0Kind.
+// Recognized names (case-insensitive): ewma, zscore, z-score, hampel,
+// density.
+func ParseTier0Kind(s string) (Tier0Kind, error) {
+	switch strings.ToLower(s) {
+	case "ewma":
+		return Tier0EWMA, nil
+	case "zscore", "z-score", "z":
+		return Tier0ZScore, nil
+	case "hampel":
+		return Tier0Hampel, nil
+	case "density":
+		return Tier0Density, nil
+	default:
+		return 0, fmt.Errorf("streamad: unknown tier-0 detector %q", s)
+	}
+}
+
+func specTier0Name(t Tier0Kind) string {
+	switch t {
+	case Tier0EWMA:
+		return "ewma"
+	case Tier0ZScore:
+		return "zscore"
+	case Tier0Hampel:
+		return "hampel"
+	case Tier0Density:
+		return "density"
+	default:
+		return fmt.Sprintf("tier0-%d", int(t))
+	}
+}
+
+// IsTier0Spec reports whether s names a tier-0 detector on its own
+// ("zscore", "hampel", …) rather than a pipeline or combinator.
+func IsTier0Spec(s string) bool {
+	_, err := ParseTier0Kind(strings.TrimSpace(s))
+	return err == nil
+}
+
 // ParsePipelineSpec parses a compact pipeline spec of the form
 // "model+task1+task2[+score][+async]" — e.g. "arima+sw+kswin",
 // "usad+ares+regular+avg" or "ae+sw+kswin+al+async". Each part accepts
@@ -209,6 +249,151 @@ func ParsePipelineSpec(s string) (PipelineSpec, error) {
 // than naming a single pipeline.
 func IsEnsembleSpec(s string) bool {
 	return strings.HasPrefix(strings.ToLower(strings.TrimSpace(s)), "ensemble(")
+}
+
+// IsCascadeSpec reports whether s uses the cascade(...) grammar.
+func IsCascadeSpec(s string) bool {
+	return strings.HasPrefix(strings.ToLower(strings.TrimSpace(s)), "cascade(")
+}
+
+// splitTop splits s at sep occurrences outside any parentheses, so
+// nested ensemble(...) members survive intact.
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// parseHeavySpec parses one cascade heavy-member spec: a full pipeline
+// spec, an ensemble(...) spec, or — as a convenience — a bare model name
+// ("knn"), which gets the default sliding-window/μσ/likelihood pipeline.
+func parseHeavySpec(s string) (canonical string, err error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case IsCascadeSpec(s):
+		return "", fmt.Errorf("streamad: cascades do not nest (heavy member %q)", s)
+	case IsEnsembleSpec(s):
+		es, err := ParseEnsembleSpec(s)
+		if err != nil {
+			return "", err
+		}
+		return es.String(), nil
+	case !strings.Contains(s, "+"):
+		m, err := ParseModelKind(s)
+		if err != nil {
+			return "", err
+		}
+		return PipelineSpec{Model: m, Task1: TaskSlidingWindow, Task2: TaskMuSigma, Score: ScoreLikelihood}.String(), nil
+	default:
+		ps, err := ParsePipelineSpec(s)
+		if err != nil {
+			return "", err
+		}
+		return ps.String(), nil
+	}
+}
+
+// ParseCascadeSpec parses the cascade spec grammar:
+//
+//	cascade(gate, heavy, heavy, ...; option, option, ...)
+//
+// where gate is a tier-0 detector name (ewma, zscore, hampel, density),
+// each heavy member is a pipeline spec, a bare model name or a nested
+// ensemble(...) spec, and the optional options after the semicolon are
+// key=value pairs:
+//
+//	admit=0.1     target false-admission rate ε of the conformal gate
+//	calib=128     conformal calibration-window capacity
+//	gatewin=64    tier-0 gate window length
+//
+// For example:
+//
+//	cascade(zscore, knn)
+//	cascade(hampel, usad+sw+musigma+al; admit=0.05, calib=256)
+//	cascade(ewma, ensemble(arima+sw+kswin, usad+ares+regular; agg=median); admit=0.02)
+func ParseCascadeSpec(s string) (CascadeSpec, error) {
+	trimmed := strings.TrimSpace(s)
+	fail := func(format string, args ...interface{}) (CascadeSpec, error) {
+		return CascadeSpec{}, fmt.Errorf("streamad: cascade spec %q: %s", s, fmt.Sprintf(format, args...))
+	}
+	if !IsCascadeSpec(trimmed) || !strings.HasSuffix(trimmed, ")") {
+		return fail("want cascade(gate, heavy, ...; options)")
+	}
+	body := trimmed[len("cascade(") : len(trimmed)-1]
+	topParts := splitTop(body, ';')
+	if len(topParts) > 2 {
+		return fail("more than one options section")
+	}
+	members := splitTop(topParts[0], ',')
+	if len(members) < 2 {
+		return fail("want a tier-0 gate and at least one heavy member")
+	}
+	var spec CascadeSpec
+	var err error
+	if spec.Gate, err = ParseTier0Kind(strings.TrimSpace(members[0])); err != nil {
+		return CascadeSpec{}, fmt.Errorf("streamad: cascade spec %q: gate: %w", s, err)
+	}
+	for _, ms := range members[1:] {
+		if strings.TrimSpace(ms) == "" {
+			return fail("empty heavy member spec")
+		}
+		canonical, err := parseHeavySpec(ms)
+		if err != nil {
+			return CascadeSpec{}, err
+		}
+		spec.Heavy = append(spec.Heavy, canonical)
+	}
+	if len(topParts) == 1 {
+		return spec, nil
+	}
+	for _, opt := range splitTop(topParts[1], ',') {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return fail("option %q is not key=value", opt)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "admit":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) || v <= 0 || v >= 1 {
+				return fail("bad admit rate %q (must be in (0,1))", val)
+			}
+			spec.Admit = v
+		case "calib":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 8 {
+				return fail("bad calibration window %q (must be an integer ≥ 8)", val)
+			}
+			spec.Calib = n
+		case "gatewin":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 4 {
+				return fail("bad gate window %q (must be an integer ≥ 4)", val)
+			}
+			spec.GateWindow = n
+		default:
+			return fail("unknown option %q", key)
+		}
+	}
+	return spec, nil
 }
 
 // ParseEnsembleSpec parses the ensemble spec grammar:

@@ -7,6 +7,10 @@
 #                           # p99 < 750ms); report goes to a temp dir
 #   scripts/soak.sh full    # make bench-soak: 64 streams x 50 vec/s for
 #                           # 30s; writes the checked-in BENCH_soak.json
+#   scripts/soak.sh cascade # CI gate: the smoke soak against a server
+#                           # running cascade(zscore, knn); recall must
+#                           # hold the plain-knn gate and /metrics must
+#                           # show every stream's admission rate < 50%
 #
 # The server runs a real streamadd (arima, 4 channels, block overload
 # policy) on a loopback port; it is killed on exit. streamload's exit
@@ -40,8 +44,15 @@ go build -o "$BIN/streamload" ./cmd/streamload
 # line up with the generator's per-record labels (windowed models smear a
 # spike across the following w scores and ruin point recall). The alert
 # quantile is set against the scenario's 2% contamination; fixed seed so
-# the detection section of the report is reproducible run to run.
-"$BIN/streamadd" -addr "$ADDR" -channels 4 -model knn -w 8 -m 32 -seed 1 \
+# the detection section of the report is reproducible run to run. In
+# cascade mode the same kNN rides behind the tier-0 zscore screen: the
+# gate window and calibration are sized so screening engages inside the
+# smoke soak's 240-vector budget.
+SPEC_ARGS=(-model knn)
+if [ "$MODE" = cascade ]; then
+    SPEC_ARGS=(-spec 'cascade(zscore, knn; admit=0.1, calib=64, gatewin=32)')
+fi
+"$BIN/streamadd" -addr "$ADDR" -channels 4 "${SPEC_ARGS[@]}" -w 8 -m 32 -seed 1 \
     -alert-quantile 0.98 >"$BIN/streamadd.log" 2>&1 &
 SRV_PID=$!
 
@@ -79,8 +90,24 @@ full)
         -slo-recall 0.25 \
         -out "$OUT"
     ;;
+cascade)
+    "$BIN/streamload" -addr "http://$ADDR" \
+        -streams 64 -rate 200 -batch 16 -vectors 240 -warmup 64 -seed 1 \
+        -slo-p99 750ms -slo-shed-rate 0 -slo-error-rate 0 -slo-5xx 0 \
+        -slo-recall 0.25 \
+        -out "$BIN/BENCH_soak.json"
+    # The soak passed its SLOs; now assert the screen actually engaged:
+    # every stream must be screening with an admission rate under 50%.
+    curl -fsS "http://$ADDR/metrics" | awk '
+        /^streamad_cascade_admission_rate\{/ { n++; if ($2 >= 0.5) { print "soak.sh: " $0 " — admission rate >= 0.5"; bad = 1 } }
+        /^streamad_cascade_screening\{/      { if ($2 != 1) { print "soak.sh: " $0 " — screening never engaged"; bad = 1 } }
+        END {
+            if (n == 0) { print "soak.sh: no streamad_cascade_admission_rate series in /metrics"; bad = 1 }
+            exit bad
+        }' >&2
+    ;;
 *)
-    echo "usage: scripts/soak.sh [smoke|full]" >&2
+    echo "usage: scripts/soak.sh [smoke|full|cascade]" >&2
     exit 2
     ;;
 esac
