@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak bench-cascade soak-smoke cascade-smoke lint fmtcheck staticcheck vulncheck
+.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak bench-cascade soak-smoke cascade-smoke shed-smoke cluster-smoke lint fmtcheck staticcheck vulncheck
 
 # ci is the fast gate; the race detector runs as its own CI job (make
 # race) so the concurrency suites don't slow the edit loop. The smoke
 # soaks run last: they need a building tree, and they are the only
 # targets that exercise a live streamadd end to end — soak-smoke on the
-# plain knn pipeline, cascade-smoke on the cascade(zscore, knn) screen.
-ci: fmtcheck vet lint build test soak-smoke cascade-smoke
+# plain knn pipeline, cascade-smoke on the cascade(zscore, knn) screen,
+# shed-smoke on the shed overload policy under deliberate overdrive,
+# and cluster-smoke on a 3-node cluster that loses a node mid-soak.
+ci: fmtcheck vet lint build test soak-smoke cascade-smoke shed-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -86,6 +88,21 @@ soak-smoke:
 # /metrics and fails if any stream's admission rate reaches 50%.
 cascade-smoke:
 	scripts/soak.sh cascade
+
+# shed-smoke overdrives a streamadd running the shed overload policy
+# with a 4-deep queue: sheds must surface as inline 429-style results
+# (zero 5xx, zero per-record errors, p99 held) and /metrics must show
+# the shed counter actually moved.
+shed-smoke:
+	scripts/soak.sh shed
+
+# cluster-smoke boots a 3-node cluster, soaks it through every node at
+# once, and SIGKILLs one node mid-run: zero non-429 5xx on survivors,
+# bounded per-record errors, recall holds on scored records, and a
+# survivor's /metrics must show forwarding happened, the dead peer
+# marked down, and the ring shrunk to 2 nodes.
+cluster-smoke:
+	scripts/cluster_smoke.sh
 
 # bench-cascade regenerates BENCH_cascade.json: one in-process run of
 # the abrupt-drift scenario through the always-on heavy pipeline and

@@ -30,10 +30,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"streamad"
+	"streamad/internal/cluster"
 	"streamad/internal/ingest"
 	"streamad/internal/persist"
 	"streamad/internal/score"
@@ -67,6 +69,14 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "bounded per-stream ingestion queue depth")
 		overload   = flag.String("overload", "block", "full-queue policy: block (backpressure) | shed (429 + Retry-After) | drop-oldest")
 		streamTTL  = flag.Duration("stream-ttl", 0, "checkpoint and unload streams idle this long (0 = keep forever)")
+
+		clusterPeers   = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster node, self included (empty = single node)")
+		clusterSelf    = flag.String("cluster-self", "", "this node's base URL as it appears in -cluster-peers (required with -cluster-peers)")
+		clusterVnodes  = flag.Int("cluster-vnodes", 64, "virtual nodes per member on the consistent-hash ring")
+		probeInterval  = flag.Duration("cluster-probe-interval", time.Second, "peer health-probe period")
+		probeFailures  = flag.Int("cluster-probe-failures", 2, "consecutive probe failures before a peer is marked down")
+		rebalanceEvery = flag.Duration("cluster-rebalance-interval", 2*time.Second, "how often misplaced streams are migrated to their ring owners (<0 disables)")
+		standbyEvery   = flag.Duration("cluster-standby-interval", time.Second, "how often warm standby replicas sync against their owners' WALs (<0 disables)")
 	)
 	flag.Parse()
 	policy, err := ingest.ParsePolicy(*overload)
@@ -153,6 +163,22 @@ func main() {
 		log.Fatalf("streamadd: unknown -alert-policy %q (want quantile or conformal)", *alertPolicy)
 	}
 
+	var clusterCfg *cluster.Config
+	if *clusterPeers != "" {
+		if *clusterSelf == "" {
+			log.Fatal("streamadd: -cluster-self is required with -cluster-peers")
+		}
+		clusterCfg = &cluster.Config{
+			Self:              *clusterSelf,
+			Peers:             strings.Split(*clusterPeers, ","),
+			VirtualNodes:      *clusterVnodes,
+			ProbeInterval:     *probeInterval,
+			ProbeFailures:     *probeFailures,
+			RebalanceInterval: *rebalanceEvery,
+			StandbyInterval:   *standbyEvery,
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		NewDetector:      newDetector,
 		NewThresholder:   newThresholder,
@@ -164,6 +190,7 @@ func main() {
 		SnapshotInterval: *snapInterval,
 		SnapshotEvery:    *snapEntries,
 		Logf:             log.Printf,
+		Cluster:          clusterCfg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -197,6 +224,12 @@ func main() {
 	go func() { errCh <- httpServer.ListenAndServe() }()
 	log.Printf("streamadd listening on %s (%s N=%d, %d shards, queue %d, overload=%s)",
 		*addr, pipeline, *channels, *shards, *queueDepth, policy)
+	if clusterCfg != nil {
+		// After the listener is up, so peers' health probes of this node
+		// succeed from the first tick.
+		srv.StartCluster()
+		log.Printf("streamadd: cluster node %s of %d peers", *clusterSelf, len(clusterCfg.Peers))
+	}
 
 	select {
 	case <-ctx.Done():

@@ -40,7 +40,7 @@ const defaultScenario = "drift(base(corpus=gauss,channels=4,p=0.02,pool=512),kin
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "streamadd base URL")
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "streamadd base URL; a comma-separated list round-robins requests across cluster nodes and adds a per-target report breakdown")
 		spec     = flag.String("scenario", defaultScenario, "scenario spec (internal/scenario grammar)")
 		streams  = flag.Int("streams", 64, "concurrent streams")
 		rate     = flag.Float64("rate", 50, "vectors per second per stream")

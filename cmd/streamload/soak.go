@@ -20,7 +20,10 @@ import (
 // Config is one soak run: a scenario spec fanned out over a fleet of
 // streams against a live streamadd.
 type Config struct {
-	// Addr is the target base URL, e.g. http://127.0.0.1:8417.
+	// Addr is the target base URL, e.g. http://127.0.0.1:8417. A
+	// comma-separated list soaks a cluster: each worker round-robins its
+	// requests across all targets, and the report carries a per-target
+	// breakdown next to the aggregate.
 	Addr string
 	// Spec is the scenario spec (internal/scenario grammar). Timing-fault
 	// layers (jitter/late/reorder) shape the send schedule.
@@ -67,19 +70,36 @@ type SLO struct {
 //
 //streamad:finite-json — every float is routed through finite() or ratio() when the report is assembled.
 type Report struct {
-	Spec             string         `json:"spec"`
-	Seed             int64          `json:"seed"`
-	Streams          int            `json:"streams"`
-	RatePerStream    float64        `json:"rate_per_stream_hz"`
-	BatchRecords     int            `json:"batch_records"`
-	VectorsPerStream int            `json:"vectors_per_stream"`
-	WarmupVectors    int            `json:"warmup_vectors"`
-	ToleranceVectors int            `json:"tolerance_vectors"`
-	ElapsedSeconds   float64        `json:"elapsed_seconds"`
-	Requests         RequestStats   `json:"requests"`
-	Latency          LatencyStats   `json:"latency"`
-	Detection        DetectionStats `json:"detection"`
-	SLO              SLOReport      `json:"slo"`
+	Spec             string       `json:"spec"`
+	Seed             int64        `json:"seed"`
+	Streams          int          `json:"streams"`
+	RatePerStream    float64      `json:"rate_per_stream_hz"`
+	BatchRecords     int          `json:"batch_records"`
+	VectorsPerStream int          `json:"vectors_per_stream"`
+	WarmupVectors    int          `json:"warmup_vectors"`
+	ToleranceVectors int          `json:"tolerance_vectors"`
+	ElapsedSeconds   float64      `json:"elapsed_seconds"`
+	Requests         RequestStats `json:"requests"`
+	Latency          LatencyStats `json:"latency"`
+	// Targets is the per-target breakdown of a multi-target (cluster)
+	// soak, in -addr order; omitted for single-target runs.
+	Targets   []TargetReport `json:"targets,omitempty"`
+	Detection DetectionStats `json:"detection"`
+	SLO       SLOReport      `json:"slo"`
+}
+
+// TargetReport is one target's share of a multi-target soak: its request
+// outcomes and its own latency percentiles, so a cluster node that is
+// slow or erroring stands out instead of hiding in the aggregate.
+//
+//streamad:finite-json — latencyStats routes every float through finite().
+type TargetReport struct {
+	URL             string       `json:"url"`
+	HTTPRequests    int          `json:"http_requests"`
+	TransportErrors int          `json:"transport_errors"`
+	HTTP5xx         int          `json:"http_5xx"`
+	RecordErrors    int          `json:"record_errors"`
+	Latency         LatencyStats `json:"latency"`
 }
 
 // RequestStats aggregates wire-level outcomes. Every sent record lands
@@ -176,6 +196,15 @@ func run(cfg Config) (*Report, error) {
 	if cfg.Tolerance < 0 {
 		return nil, fmt.Errorf("streamload: tolerance %d must be non-negative", cfg.Tolerance)
 	}
+	var targets []string
+	for _, t := range strings.Split(cfg.Addr, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("streamload: target address is required")
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{
@@ -197,15 +226,17 @@ func run(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		workers[i] = &worker{
-			stream: fmt.Sprintf("soak-%d", i),
-			gen:    gen,
-			pacer:  scenario.NewPacer(sc.Timing, interval, scenario.DeriveSeed(cfg.Seed, fmt.Sprintf("pace/%d", i))),
-			client: client,
-			base:   strings.TrimRight(cfg.Addr, "/"),
-			batch:  cfg.Batch,
-			total:  vectors,
-			warmup: cfg.Warmup,
-			tol:    cfg.Tolerance,
+			stream:  fmt.Sprintf("soak-%d", i),
+			gen:     gen,
+			pacer:   scenario.NewPacer(sc.Timing, interval, scenario.DeriveSeed(cfg.Seed, fmt.Sprintf("pace/%d", i))),
+			client:  client,
+			targets: targets,
+			rr:      i % len(targets), // stagger so the fleet spreads from the first request
+			tstats:  make([]targetStats, len(targets)),
+			batch:   cfg.Batch,
+			total:   vectors,
+			warmup:  cfg.Warmup,
+			tol:     cfg.Tolerance,
 		}
 		wg.Add(1)
 		go func(w *worker) {
@@ -224,6 +255,7 @@ func run(cfg Config) (*Report, error) {
 		ElapsedSeconds:   finite(elapsed.Seconds()),
 	}
 	var lats []time.Duration
+	perTarget := make([]targetStats, len(targets))
 	for _, w := range workers {
 		w.finalize()
 		// The generator's exact-contamination contract doubles as a
@@ -236,6 +268,22 @@ func run(cfg Config) (*Report, error) {
 		addRequests(&rep.Requests, w.rs)
 		addDetection(&rep.Detection, w.det)
 		lats = append(lats, w.lat...)
+		for ti := range w.tstats {
+			perTarget[ti].add(&w.tstats[ti])
+		}
+	}
+	if len(targets) > 1 {
+		for ti, t := range targets {
+			ts := &perTarget[ti]
+			rep.Targets = append(rep.Targets, TargetReport{
+				URL:             t,
+				HTTPRequests:    ts.requests,
+				TransportErrors: ts.transportErrors,
+				HTTP5xx:         ts.http5xx,
+				RecordErrors:    ts.recordErrors,
+				Latency:         latencyStats(ts.lat),
+			})
+		}
 	}
 	rep.Requests.ShedRate = ratio(rep.Requests.RecordsShed, rep.Requests.RecordsSent)
 	rep.Requests.ErrorRate = ratio(rep.Requests.RecordErrors, rep.Requests.RecordsSent)
@@ -253,15 +301,17 @@ func run(cfg Config) (*Report, error) {
 // posts them, and pairs every response record with its ground-truth
 // label by request order.
 type worker struct {
-	stream string
-	gen    scenario.Stream
-	pacer  *scenario.Pacer
-	client *http.Client
-	base   string
-	batch  int
-	total  int
-	warmup int
-	tol    int
+	stream  string
+	gen     scenario.Stream
+	pacer   *scenario.Pacer
+	client  *http.Client
+	targets []string
+	rr      int           // round-robin cursor over targets
+	tstats  []targetStats // per-target outcomes, parallel to targets
+	batch   int
+	total   int
+	warmup  int
+	tol     int
 
 	sent      int // vectors drawn so far
 	anomalies int // ground-truth anomalies drawn so far
@@ -336,16 +386,25 @@ func (w *worker) nextBatch() ([]byte, []bool, int) {
 	return buf.Bytes(), labels, first
 }
 
-// send posts one batch and consumes the NDJSON response, pairing the
-// i-th result with the i-th record's label. The latency sample covers
-// the full round trip: send to last response byte.
+// send posts one batch to the next round-robin target and consumes the
+// NDJSON response, pairing the i-th result with the i-th record's label.
+// The latency sample covers the full round trip: send to last response
+// byte. Outcomes are recorded twice — into the aggregate and into the
+// chosen target's row.
 func (w *worker) send(body []byte, labels []bool, first int) {
+	ti := w.rr % len(w.targets)
+	w.rr++
+	ts := &w.tstats[ti]
+	errsBefore := w.rs.RecordErrors
+	defer func() { ts.recordErrors += w.rs.RecordErrors - errsBefore }()
 	w.rs.HTTPRequests++
+	ts.requests++
 	w.rs.RecordsSent += len(labels)
 	t0 := time.Now()
-	resp, err := w.client.Post(w.base+"/v1/observe", "application/x-ndjson", bytes.NewReader(body))
+	resp, err := w.client.Post(w.targets[ti]+"/v1/observe", "application/x-ndjson", bytes.NewReader(body))
 	if err != nil {
 		w.rs.TransportErrors++
+		ts.transportErrors++
 		w.rs.RecordErrors += len(labels)
 		return
 	}
@@ -353,10 +412,11 @@ func (w *worker) send(body []byte, labels []bool, first int) {
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode >= 500 {
 			w.rs.HTTP5xx++
+			ts.http5xx++
 		}
 		w.rs.RecordErrors += len(labels)
 		io.Copy(io.Discard, resp.Body)
-		w.lat = append(w.lat, time.Since(t0))
+		w.sample(ts, time.Since(t0))
 		return
 	}
 	sc := bufio.NewScanner(resp.Body)
@@ -376,13 +436,38 @@ func (w *worker) send(body []byte, labels []bool, first int) {
 		w.record(res, labels[i], first+i)
 		i++
 	}
-	w.lat = append(w.lat, time.Since(t0))
+	w.sample(ts, time.Since(t0))
 	if err := sc.Err(); err != nil {
 		w.rs.TransportErrors++
+		ts.transportErrors++
 	}
 	for ; i < len(labels); i++ {
 		w.rs.RecordErrors++ // the response ended short of one result per record
 	}
+}
+
+// sample records one round-trip latency in the aggregate and the
+// per-target series.
+func (w *worker) sample(ts *targetStats, d time.Duration) {
+	w.lat = append(w.lat, d)
+	ts.lat = append(ts.lat, d)
+}
+
+// targetStats is one worker's outcomes against one target.
+type targetStats struct {
+	requests        int
+	transportErrors int
+	http5xx         int
+	recordErrors    int
+	lat             []time.Duration
+}
+
+func (t *targetStats) add(src *targetStats) {
+	t.requests += src.requests
+	t.transportErrors += src.transportErrors
+	t.http5xx += src.http5xx
+	t.recordErrors += src.recordErrors
+	t.lat = append(t.lat, src.lat...)
 }
 
 // record classifies one response record and, for scored post-warmup

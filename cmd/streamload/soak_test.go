@@ -271,6 +271,86 @@ func TestRunTolerancePointAdjust(t *testing.T) {
 	}
 }
 
+// TestRunMultiTarget: with a comma-separated -addr the fleet round-robins
+// requests across both targets (staggered, so the split is exactly even),
+// and the report grows a per-target breakdown in -addr order. Single-target
+// runs must keep the breakdown omitted.
+func TestRunMultiTarget(t *testing.T) {
+	a, b := newSoakTarget(t), newSoakTarget(t)
+	cfg := soakConfig(" " + a.URL + " , " + b.URL + "/ ") // parsing trims spaces and trailing slashes
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 2 || rep.Targets[0].URL != a.URL || rep.Targets[1].URL != b.URL {
+		t.Fatalf("targets = %+v, want rows for %s then %s", rep.Targets, a.URL, b.URL)
+	}
+	ra, rb := rep.Targets[0], rep.Targets[1]
+	if ra.HTTPRequests+rb.HTTPRequests != rep.Requests.HTTPRequests {
+		t.Fatalf("per-target requests %d + %d do not add up to the aggregate %d",
+			ra.HTTPRequests, rb.HTTPRequests, rep.Requests.HTTPRequests)
+	}
+	// 4 workers x 15 requests, staggered round-robin: exactly half each.
+	if want := rep.Requests.HTTPRequests / 2; ra.HTTPRequests != want || rb.HTTPRequests != want {
+		t.Fatalf("round-robin split %d/%d, want %d/%d", ra.HTTPRequests, rb.HTTPRequests, want, want)
+	}
+	for _, tr := range rep.Targets {
+		if tr.TransportErrors != 0 || tr.HTTP5xx != 0 || tr.RecordErrors != 0 {
+			t.Fatalf("healthy target %s reported failures: %+v", tr.URL, tr)
+		}
+		if tr.Latency.Requests != tr.HTTPRequests {
+			t.Fatalf("target %s sampled %d latencies for %d requests", tr.URL, tr.Latency.Requests, tr.HTTPRequests)
+		}
+	}
+
+	solo, err := run(soakConfig(a.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Targets != nil {
+		t.Fatalf("single-target run grew a per-target breakdown: %+v", solo.Targets)
+	}
+}
+
+// TestRunMultiTargetDeadPeer: when one target of a pair is unreachable,
+// every failure lands in that target's row — the healthy node's row stays
+// clean, so the report points at the broken peer instead of smearing the
+// errors across the fleet.
+func TestRunMultiTargetDeadPeer(t *testing.T) {
+	live := newSoakTarget(t)
+	const dead = "http://127.0.0.1:1"
+	cfg := soakConfig(live.URL + "," + dead)
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("targets = %+v, want 2 rows", rep.Targets)
+	}
+	healthy, broken := rep.Targets[0], rep.Targets[1]
+	if broken.TransportErrors != broken.HTTPRequests || broken.HTTPRequests == 0 {
+		t.Fatalf("dead target: %d transport errors over %d requests, want every request to fail",
+			broken.TransportErrors, broken.HTTPRequests)
+	}
+	if healthy.TransportErrors != 0 || healthy.HTTP5xx != 0 || healthy.RecordErrors != 0 {
+		t.Fatalf("failures leaked into the healthy target's row: %+v", healthy)
+	}
+	if rep.Requests.TransportErrors != broken.TransportErrors {
+		t.Fatalf("aggregate transport errors %d, dead target accounts for %d",
+			rep.Requests.TransportErrors, broken.TransportErrors)
+	}
+	if rep.Requests.RecordErrors != broken.RecordErrors || broken.RecordErrors == 0 {
+		t.Fatalf("aggregate record errors %d vs dead target's %d — failed batches must charge their target",
+			rep.Requests.RecordErrors, broken.RecordErrors)
+	}
+	// Every record still gets exactly one outcome, errors included.
+	total := rep.Requests.RecordsScored + rep.Requests.RecordsNotReady +
+		rep.Requests.RecordsShed + rep.Requests.RecordsDropped + rep.Requests.RecordErrors
+	if total != rep.Requests.RecordsSent {
+		t.Fatalf("record outcomes (%d) do not add up to records sent (%d): %+v", total, rep.Requests.RecordsSent, rep.Requests)
+	}
+}
+
 // TestRunValidation pins the harness-error paths (exit code 2 in main).
 func TestRunValidation(t *testing.T) {
 	for name, mutate := range map[string]func(*Config){

@@ -1,0 +1,128 @@
+// Package cluster turns N streamadd processes into one logical scoring
+// service. Placement is a consistent-hash ring over stream ids (virtual
+// nodes, FNV-1a); membership is a static peer list refined by health
+// probing. Any node accepts any batch and forwards records to their ring
+// owners; when the ring changes, streams migrate live by shipping the
+// versioned CRC snapshot plus WAL tail, verified by a state fingerprint
+// on the target; and each stream's ring successor keeps a warm standby
+// replica by tailing the owner's WAL, promoting it when the owner fails
+// its health probes.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring. Owner lookups are a binary
+// search over the sorted virtual-node points; rebuilding on a membership
+// change costs O(nodes · vnodes · log) and replaces the ring wholesale,
+// so readers never lock.
+type Ring struct {
+	points []point
+	nodes  []string
+}
+
+// ringHash positions a key on the ring: 64-bit FNV-1a (stdlib
+// constants, inlined to avoid the hasher allocation on per-record owner
+// lookups) pushed through a full-avalanche finalizer. The finalizer is
+// load-bearing: raw FNV-1a of short sequential keys ("soak-0",
+// "soak-1", ...) differs only by a few multiples of the FNV prime, so
+// the whole fleet lands in one inter-point gap and a single node owns
+// every stream. Mixing the high bits back down spreads such families
+// uniformly.
+func ringHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// fmix64 finalizer (MurmurHash3): full avalanche, every input bit
+	// flips ~half the output bits.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds a ring with vnodes virtual points per node (default 64
+// when non-positive). Node order does not matter; the ring is a pure
+// function of the member set, so every node that agrees on liveness
+// agrees on placement.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	r := &Ring{nodes: sorted, points: make([]point, 0, len(sorted)*vnodes)}
+	for _, n := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: ringHash(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the member set, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner maps a stream id to its owning node ("" on an empty ring).
+func (r *Ring) Owner(id string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(id)].node
+}
+
+// Owners returns up to n distinct nodes for a stream in ring order: the
+// owner first, then the successors that take over, in order, as nodes
+// ahead of them fail.
+func (r *Ring) Owners(id string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	start := r.search(id)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		cand := r.points[(start+i)%len(r.points)].node
+		dup := false
+		for _, have := range out {
+			if have == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// search finds the first ring point at or clockwise past the id's hash.
+func (r *Ring) search(id string) int {
+	h := ringHash(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

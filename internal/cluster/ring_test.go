@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+var testNodes = []string{
+	"http://127.0.0.1:8431",
+	"http://127.0.0.1:8432",
+	"http://127.0.0.1:8433",
+}
+
+// TestRingDeterministic: the ring is a pure function of the member set —
+// node order must not matter, and two independently built rings must
+// agree on every placement (the property cluster routing rests on: every
+// node that agrees on liveness agrees on ownership).
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(testNodes, 64)
+	b := NewRing([]string{testNodes[2], testNodes[0], testNodes[1]}, 64)
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("soak-%d", i)
+		if ao, bo := a.Owner(id), b.Owner(id); ao != bo {
+			t.Fatalf("owner(%q): %q vs %q for permuted member list", id, ao, bo)
+		}
+	}
+}
+
+// TestRingBalanceShortSequentialIDs is the regression test for the raw
+// FNV-1a ring: ids like soak-0..soak-47 differ only by a few multiples
+// of the FNV prime, which placed the whole fleet in one inter-point gap
+// and gave a single node every stream. With the avalanche finalizer a
+// fleet-sized family must spread across every member.
+func TestRingBalanceShortSequentialIDs(t *testing.T) {
+	r := NewRing(testNodes, 64)
+	counts := map[string]int{}
+	for i := 0; i < 48; i++ {
+		counts[r.Owner(fmt.Sprintf("soak-%d", i))]++
+	}
+	for _, n := range testNodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %q owns no streams: %v", n, counts)
+		}
+	}
+	for n, c := range counts {
+		if c > 40 {
+			t.Fatalf("node %q owns %d of 48 streams — degenerate placement: %v", n, c, counts)
+		}
+	}
+}
+
+// TestRingBalanceLarge: over a large id population no member's share
+// should stray wildly from 1/3 (loose bounds — consistent hashing with
+// 64 vnodes is balanced to roughly ±20%, not perfectly).
+func TestRingBalanceLarge(t *testing.T) {
+	r := NewRing(testNodes, 64)
+	const n = 30000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("device-%d/sensor-%d", i%977, i))]++
+	}
+	for node, c := range counts {
+		share := float64(c) / n
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("node %q owns %.3f of %d ids, want a sane third: %v", node, share, n, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member must not move any
+// stream between the surviving members — only the dead node's streams
+// re-home. This is what makes failover cheap: the survivors' streams
+// stay put.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := NewRing(testNodes, 64)
+	reduced := NewRing(testNodes[:2], 64)
+	moved, rehomed := 0, 0
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("soak-%d", i)
+		before, after := full.Owner(id), reduced.Owner(id)
+		if before == testNodes[2] {
+			rehomed++
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d streams moved between surviving nodes on member removal", moved)
+	}
+	if rehomed == 0 {
+		t.Fatal("the removed node owned no streams — balance is broken")
+	}
+}
+
+// TestRingOwners: Owners returns distinct nodes in failover order, the
+// first being the owner; n is capped at the member count.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(testNodes, 64)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("soak-%d", i)
+		owners := r.Owners(id, 5)
+		if len(owners) != len(testNodes) {
+			t.Fatalf("Owners(%q, 5) = %v, want all %d members", id, owners, len(testNodes))
+		}
+		if owners[0] != r.Owner(id) {
+			t.Fatalf("Owners(%q)[0] = %q, Owner = %q", id, owners[0], r.Owner(id))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) repeats %q: %v", id, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners("x", 0); got != nil {
+		t.Fatalf("Owners(x, 0) = %v, want nil", got)
+	}
+}
+
+// TestRingEmpty: a ring with no members owns nothing and must not panic.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 64)
+	if got := r.Owner("soak-1"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := r.Owners("soak-1", 2); got != nil {
+		t.Fatalf("empty ring owners = %v", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Warm-standby replication. For every stream whose ring successor is
+// this node, the standby loop keeps a live detector/thresholder replica:
+// it bootstraps from the owner's snapshot endpoint, then tails the
+// owner's WAL by sequence number, replaying each vector with the
+// registry's exact restore semantics. When the owner fails its health
+// probes the ring makes this node the owner, and the replica is promoted
+// into the registry — warm, at the last replicated sequence — instead of
+// the stream restarting cold.
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"streamad/internal/ingest"
+	"streamad/internal/persist"
+	"streamad/internal/score"
+)
+
+// replica is one warm standby. Its fields are owned by the standby loop
+// goroutine; the map holding replicas is guarded by n.repMu only so
+// Stats can count them.
+type replica struct {
+	id      string
+	det     ingest.Stepper
+	th      score.Thresholder
+	nextSeq uint64 // first WAL sequence not yet replayed
+	ready   int64
+	alerts  int64
+}
+
+// standbyLoop drives replica sync, promotion and garbage collection.
+func (n *Node) standbyLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.StandbyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.standbySync()
+		}
+	}
+}
+
+// standbySync runs one pass: settle existing replicas (promote, drop, or
+// tail), then discover streams this node should start backing up.
+func (n *Node) standbySync() {
+	n.repMu.Lock()
+	reps := make([]*replica, 0, len(n.replicas))
+	for _, rep := range n.replicas {
+		reps = append(reps, rep)
+	}
+	n.repMu.Unlock()
+
+	for _, rep := range reps {
+		owner := n.Owner(rep.id)
+		switch {
+		case owner == n.self:
+			n.promote(rep)
+		case n.Backup(rep.id) != n.self:
+			// The ring moved the backup role elsewhere.
+			n.dropReplica(rep.id)
+		default:
+			// Tail whoever currently owns the stream — after a failover
+			// or migration that may be a different node than the replica
+			// started against; a 410 resync realigns the state.
+			if err := n.tailReplica(rep, owner); err != nil {
+				n.cfg.Logf("streamad: cluster standby %q: %v", rep.id, err)
+			}
+		}
+	}
+	n.discoverStandbys()
+}
+
+// promote installs a replica into the local registry. The install's
+// seq-ordered conflict rule arbitrates against a racing fresh stream
+// (created by an observe that arrived before the replica landed): the
+// replica wins only if it is further along.
+func (n *Node) promote(rep *replica) {
+	err := n.reg.Install(rep.id, rep.det, rep.th, rep.nextSeq, rep.ready, rep.alerts)
+	if err != nil {
+		n.cfg.Logf("streamad: cluster standby %q not promoted: %v", rep.id, err)
+	} else {
+		n.promotions.Add(1)
+		n.cfg.Logf("streamad: cluster promoted standby %q at seq %d", rep.id, rep.nextSeq)
+	}
+	n.dropReplica(rep.id)
+}
+
+func (n *Node) dropReplica(id string) {
+	n.repMu.Lock()
+	delete(n.replicas, id)
+	n.repMu.Unlock()
+}
+
+// tailReplica pulls and replays the owner's WAL records from the
+// replica's boundary. A 410 means the owner rotated its WAL past us —
+// resync from its current snapshot; a 404 means the owner no longer
+// serves the stream (evicted or migrating) — drop and rediscover later.
+func (n *Node) tailReplica(rep *replica, owner string) error {
+	target := owner + "/v1/streams/" + url.PathEscape(rep.id) + "/wal?from=" + strconv.FormatUint(rep.nextSeq, 10)
+	resp, err := n.client.Get(target)
+	if err != nil {
+		return nil // owner unreachable; the prober and ring decide what happens next
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		var gone WALGone
+		if err := json.NewDecoder(resp.Body).Decode(&gone); err != nil {
+			return fmt.Errorf("decode WAL-rotated response: %w", err)
+		}
+		return n.resyncReplica(rep, owner)
+	case http.StatusNotFound:
+		n.dropReplica(rep.id)
+		return nil
+	case http.StatusNotImplemented:
+		n.dropReplica(rep.id)
+		return fmt.Errorf("owner %s has no WAL (no state dir); standby disabled for %q", owner, rep.id)
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("owner %s WAL tail returned %s", owner, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec WALEntry
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("decode WAL line: %w", err)
+		}
+		if rec.Seq < rep.nextSeq {
+			continue
+		}
+		ready, alert, _ := ingest.ReplayVector(rep.det, rep.th, rec.Vector)
+		if ready {
+			rep.ready++
+			if alert {
+				rep.alerts++
+			}
+		}
+		rep.nextSeq = rec.Seq + 1
+		n.standbyReplayed.Add(1)
+	}
+	return sc.Err()
+}
+
+// resyncReplica rebuilds a replica from the owner's current snapshot
+// after falling behind a WAL rotation.
+func (n *Node) resyncReplica(rep *replica, owner string) error {
+	fresh, err := n.buildReplica(rep.id, owner)
+	if err != nil {
+		return fmt.Errorf("resync: %w", err)
+	}
+	*rep = *fresh
+	return nil
+}
+
+// discoverStandbys asks each live peer for its stream list and starts a
+// replica for every stream this node is the ring backup of.
+func (n *Node) discoverStandbys() {
+	ring := n.ring.Load()
+	for _, peer := range n.order {
+		if peer == n.self || !n.peers[peer].alive.Load() {
+			continue
+		}
+		ids, err := n.peerStreams(peer)
+		if err != nil {
+			continue // unreachable peers are the prober's problem
+		}
+		for _, id := range ids {
+			if ring.Owner(id) != peer || n.Backup(id) != n.self {
+				continue
+			}
+			if _, live := n.reg.StreamStats(id); live {
+				continue // locally live (probably migrating out); not standby material
+			}
+			n.repMu.Lock()
+			_, have := n.replicas[id]
+			n.repMu.Unlock()
+			if have {
+				continue
+			}
+			rep, err := n.buildReplica(id, peer)
+			if err != nil {
+				n.cfg.Logf("streamad: cluster standby bootstrap %q from %s: %v", id, peer, err)
+				continue
+			}
+			n.repMu.Lock()
+			n.replicas[id] = rep
+			n.repMu.Unlock()
+		}
+	}
+}
+
+// peerStreams fetches a peer's stream ids.
+func (n *Node) peerStreams(peer string) ([]string, error) {
+	resp, err := n.client.Get(peer + "/v1/streams")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: %s stream list returned %s", peer, resp.Status)
+	}
+	var rows []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(rows))
+	for _, row := range rows {
+		ids = append(ids, row.ID)
+	}
+	return ids, nil
+}
+
+// buildReplica bootstraps a replica from the owner's snapshot endpoint
+// (the same versioned CRC file format the store persists).
+func (n *Node) buildReplica(id, owner string) (*replica, error) {
+	resp, err := n.client.Get(owner + "/v1/streams/" + url.PathEscape(id) + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: %s snapshot returned %s", owner, resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := persist.DecodeSnapshotFile(raw)
+	if err != nil {
+		return nil, err
+	}
+	det, err := n.cfg.NewDetector(id)
+	if err != nil {
+		return nil, err
+	}
+	th := n.cfg.NewThresholder(id)
+	if err := ingest.LoadSnapshotState(det, th, snap); err != nil {
+		return nil, err
+	}
+	return &replica{
+		id:      id,
+		det:     det,
+		th:      th,
+		nextSeq: snap.Seq,
+		ready:   int64(snap.Ready),
+		alerts:  int64(snap.Alerts),
+	}, nil
+}

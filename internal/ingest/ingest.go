@@ -180,6 +180,7 @@ type stream struct {
 	th       score.Thresholder
 	seqDone  uint64 // all records with seq < seqDone are scored (or skipped)
 	walSince int    // WAL appends since the last snapshot
+	snapSeq  uint64 // seq boundary of the last written snapshot; WAL tails below it are gone
 
 	// The observable counters are atomics written under procMu but read
 	// lock-free, so GET /v1/streams and /metrics never stall behind an
@@ -444,6 +445,9 @@ func (r *Registry) dispatch(st *stream) {
 		st.queue = nil
 		if len(batch) == 0 {
 			st.busy = false
+			// Wake quiesce waiters (Handoff) as well as blocked producers:
+			// busy=false with an empty queue is the drained state they poll.
+			st.notFull.Broadcast()
 			st.qmu.Unlock()
 			return
 		}

@@ -85,29 +85,9 @@ func (r *Registry) buildStream(id string) (*stream, []string, error) {
 	} else if err != nil {
 		return nil, nil, err
 	}
-	if len(snap.Detector) > 0 {
-		ck, ok := st.det.(Checkpointer)
-		if !ok {
-			return nil, nil, fmt.Errorf("detector %T does not support checkpointing", st.det)
-		}
-		if err := ck.Load(snap.Detector); err != nil {
-			return nil, nil, err
-		}
+	if err := loadSnapshotInto(st, snap); err != nil {
+		return nil, nil, err
 	}
-	if len(snap.Threshold) > 0 {
-		u, ok := st.th.(encoding.BinaryUnmarshaler)
-		if !ok {
-			return nil, nil, fmt.Errorf("thresholder %T does not support checkpointing", st.th)
-		}
-		if err := u.UnmarshalBinary(snap.Threshold); err != nil {
-			return nil, nil, err
-		}
-	}
-	st.seq = snap.Seq
-	st.seqDone = snap.Seq
-	st.steps.Store(int64(snap.Seq))
-	st.ready.Store(int64(snap.Ready))
-	st.alerts.Store(int64(snap.Alerts))
 
 	recs, walErr := r.cfg.Store.ReadWAL(id)
 	if walErr != nil {
@@ -116,36 +96,100 @@ func (r *Registry) buildStream(id string) (*stream, []string, error) {
 		}
 		warnings = append(warnings, fmt.Sprintf("stream %q: %v (replaying the intact prefix)", id, walErr))
 	}
-	rejected := 0
+	rejected := replayRecords(st, recs)
+	if rejected > 0 {
+		warnings = append(warnings, fmt.Sprintf(
+			"stream %q: skipped %d WAL record(s) the detector rejected when first observed", id, rejected))
+	}
+	return st, warnings, nil
+}
+
+// LoadSnapshotState loads a snapshot's detector and thresholder blobs
+// into a live pair. It is shared by the registry restore path and the
+// cluster standby replicas, so an out-of-registry replica lands in
+// exactly the state a restored stream would.
+func LoadSnapshotState(det Stepper, th score.Thresholder, snap *persist.StreamSnapshot) error {
+	if len(snap.Detector) > 0 {
+		ck, ok := det.(Checkpointer)
+		if !ok {
+			return fmt.Errorf("detector %T does not support checkpointing", det)
+		}
+		if err := ck.Load(snap.Detector); err != nil {
+			return err
+		}
+	}
+	if len(snap.Threshold) > 0 {
+		u, ok := th.(encoding.BinaryUnmarshaler)
+		if !ok {
+			return fmt.Errorf("thresholder %T does not support checkpointing", th)
+		}
+		if err := u.UnmarshalBinary(snap.Threshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayVector steps one logged vector through a detector/thresholder
+// pair with the registry's exact replay semantics: a panicking detector
+// rejects the vector (the live path returned BadShape for it), a warming
+// detector consumes it silently, and a ready score feeds the alert
+// policy. Cluster standby replicas use it to tail a WAL bit-identically.
+func ReplayVector(det Stepper, th score.Thresholder, vec []float64) (ready, alert, rejected bool) {
+	res, out := safeStep(det, vec)
+	if out.panicked {
+		return false, false, true
+	}
+	if !out.ok {
+		return false, false, false
+	}
+	return true, th.Alert(res.Score), false
+}
+
+// loadSnapshotInto applies a snapshot to an unshared stream: blobs,
+// sequence boundary and serving counters.
+func loadSnapshotInto(st *stream, snap *persist.StreamSnapshot) error {
+	if err := LoadSnapshotState(st.det, st.th, snap); err != nil {
+		return err
+	}
+	st.seq = snap.Seq
+	st.seqDone = snap.Seq
+	st.snapSeq = snap.Seq
+	st.steps.Store(int64(snap.Seq))
+	st.ready.Store(int64(snap.Ready))
+	st.alerts.Store(int64(snap.Alerts))
+	st.thBits.Store(math.Float64bits(st.th.Threshold()))
+	return nil
+}
+
+// replayRecords re-steps WAL records at or past the stream's current
+// boundary into an unshared (or procMu-held) stream, mirroring the live
+// dispatcher's outcome handling, and returns how many records the
+// detector rejected. Sequence gaps (drop-oldest sheds) replay as the
+// live stream experienced them: skipped.
+func replayRecords(st *stream, recs []persist.WALRecord) (rejected int) {
 	for _, rec := range recs {
-		if rec.Seq < snap.Seq {
+		if rec.Seq < st.seqDone {
 			continue // already folded into the snapshot
 		}
 		st.seq = rec.Seq + 1
 		st.seqDone = rec.Seq + 1
 		st.steps.Store(int64(rec.Seq) + 1)
 		st.walSince++
-		res, out := safeStep(st.det, rec.Vector)
-		if out.panicked {
-			// The live registry logged this vector, then rejected it when
-			// the detector panicked; replay must land in the same state, so
-			// skip it the same way instead of failing recovery.
+		ready, alert, rej := ReplayVector(st.det, st.th, rec.Vector)
+		if rej {
 			rejected++
 			continue
 		}
-		if out.ok {
+		if ready {
 			st.ready.Add(1)
-			if st.th.Alert(res.Score) {
+			if alert {
 				st.alerts.Add(1)
 			}
 		}
 	}
-	if rejected > 0 {
-		warnings = append(warnings, fmt.Sprintf(
-			"stream %q: skipped %d WAL record(s) the detector rejected when first observed", id, rejected))
-	}
 	st.thBits.Store(math.Float64bits(st.th.Threshold()))
-	return st, warnings, nil
+	return rejected
 }
 
 // snapshotter is the background checkpoint loop: a timer pass over all
@@ -230,6 +274,7 @@ func (r *Registry) snapshotStream(id string, st *stream) error {
 		return err
 	}
 	st.walSince = 0
+	st.snapSeq = snap.Seq
 	return nil
 }
 
@@ -294,6 +339,7 @@ func (r *Registry) Snapshot(id string) (*persist.StreamSnapshot, error) {
 			return nil, err
 		}
 		st.walSince = 0
+		st.snapSeq = snap.Seq
 	}
 	return snap, nil
 }

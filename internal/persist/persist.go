@@ -230,30 +230,41 @@ func (s *Store) ReadSnapshot(id string) (*StreamSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	snap, err := DecodeSnapshotFile(raw)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot %q: %w", id, err)
+	}
+	return snap, nil
+}
+
+// DecodeSnapshotFile verifies and decodes a snapshot in the on-disk file
+// format — the inverse of EncodeSnapshotFile. Cluster migration ships
+// these bytes over the wire; the magic, version and CRC checks run on
+// the receiving node exactly as they would on a restart.
+func DecodeSnapshotFile(raw []byte) (*StreamSnapshot, error) {
 	if len(raw) < len(snapMagic)+16 {
-		return nil, fmt.Errorf("persist: snapshot %q truncated (%d bytes)", id, len(raw))
+		return nil, fmt.Errorf("truncated (%d bytes)", len(raw))
 	}
 	if string(raw[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("persist: snapshot %q has wrong magic", id)
+		return nil, fmt.Errorf("wrong magic")
 	}
 	hdr := raw[len(snapMagic):]
 	version := binary.LittleEndian.Uint32(hdr[0:4])
 	if version != Version {
-		return nil, fmt.Errorf("persist: snapshot %q version %d, this build reads %d", id, version, Version)
+		return nil, fmt.Errorf("version %d, this build reads %d", version, Version)
 	}
 	size := binary.LittleEndian.Uint64(hdr[4:12])
 	sum := binary.LittleEndian.Uint32(hdr[12:16])
 	body := hdr[16:]
 	if uint64(len(body)) != size {
-		return nil, fmt.Errorf("persist: snapshot %q truncated: header says %d payload bytes, file has %d",
-			id, size, len(body))
+		return nil, fmt.Errorf("truncated: header says %d payload bytes, file has %d", size, len(body))
 	}
 	if crc32.Checksum(body, castagnoli) != sum {
-		return nil, fmt.Errorf("persist: snapshot %q failed CRC check", id)
+		return nil, fmt.Errorf("failed CRC check")
 	}
 	var snap StreamSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("persist: decode snapshot %q: %w", id, err)
+		return nil, fmt.Errorf("decode: %w", err)
 	}
 	return &snap, nil
 }

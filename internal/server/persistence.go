@@ -56,8 +56,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, id string) {
 	w.Write(file)
 }
 
-// Close stops the registry's background loops (snapshotter, evictor) and
-// takes a final checkpoint of every dirty stream. It does not close the
-// store — the caller that opened it owns that. Safe to call more than
-// once.
-func (s *Server) Close() error { return s.reg.Close() }
+// Close stops the cluster node's loops (prober, rebalancer, standby
+// sync) and then the registry's (snapshotter, evictor), taking a final
+// checkpoint of every dirty stream. It does not close the store — the
+// caller that opened it owns that. Safe to call more than once.
+func (s *Server) Close() error {
+	if s.node != nil {
+		s.node.Close()
+	}
+	return s.reg.Close()
+}

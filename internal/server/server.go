@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"streamad/internal/cascade"
+	"streamad/internal/cluster"
 	"streamad/internal/core"
 	"streamad/internal/ensemble"
 	"streamad/internal/ingest"
@@ -84,6 +85,12 @@ type Config struct {
 	SnapshotEvery int
 	// Logf receives persistence diagnostics (default: discard).
 	Logf func(format string, args ...interface{})
+	// Cluster, when set with at least two peers, makes this server one
+	// node of a logical cluster: observes are forwarded to their ring
+	// owners, streams migrate on membership changes, and ring successors
+	// keep warm standbys (see internal/cluster). The detector and
+	// thresholder factories and Logf default to the server's own.
+	Cluster *cluster.Config
 }
 
 // Server is an http.Handler serving the scoring API.
@@ -91,6 +98,7 @@ type Server struct {
 	reg    *ingest.Registry
 	mux    *http.ServeMux
 	obsLat latencyHist // streamad_ingest_observe_seconds
+	node   *cluster.Node
 }
 
 // New validates the configuration and returns a Server.
@@ -116,6 +124,31 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{reg: reg, mux: http.NewServeMux()}
+	if cfg.Cluster != nil && len(cfg.Cluster.Peers) > 0 {
+		ccfg := *cfg.Cluster
+		if ccfg.NewDetector == nil {
+			ccfg.NewDetector = cfg.NewDetector
+		}
+		if ccfg.NewThresholder == nil {
+			if cfg.NewThresholder != nil {
+				ccfg.NewThresholder = cfg.NewThresholder
+			} else {
+				// Mirror the registry's own default so a promoted standby
+				// replica carries the same alert policy a fresh stream gets.
+				ccfg.NewThresholder = func(string) score.Thresholder {
+					return score.NewQuantileThresholder(0.99)
+				}
+			}
+		}
+		if ccfg.Logf == nil {
+			ccfg.Logf = cfg.Logf
+		}
+		s.node, err = cluster.New(ccfg)
+		if err != nil {
+			reg.Close()
+			return nil, err
+		}
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/observe", s.handleBatchObserve)
@@ -159,7 +192,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// observeRequest is the POST body of /v1/streams/{id}/observe.
+// observeRequest is the POST body of /v1/streams/{id}/observe. It is
+// re-marshalled verbatim when an observe is proxied to its ring owner.
+//
+//streamad:finite-json — the vector was decoded from JSON, which cannot carry NaN/Inf.
 type observeRequest struct {
 	Vector []float64 `json:"vector"`
 }
@@ -181,6 +217,9 @@ type ObserveResponse struct {
 	// Dropped marks a vector the drop-oldest overload policy discarded
 	// before scoring; its sequence number was consumed but no score exists.
 	Dropped bool `json:"dropped,omitempty"`
+	// Node is the cluster node that scored the vector (empty outside
+	// cluster mode); a proxied observe carries the owner's URL here.
+	Node string `json:"node,omitempty"`
 }
 
 // MemberStatus is one ensemble member's row in StatsResponse.
@@ -199,7 +238,12 @@ type MemberStatus struct {
 // ensemble-backed streams; Threshold is omitted while the alert policy
 // still reports a non-finite boundary (see finiteOrZero).
 type StatsResponse struct {
-	ID        string          `json:"id"`
+	ID string `json:"id"`
+	// Node is the cluster node that answered and Owner the ring owner of
+	// the stream; both are empty outside cluster mode. They differ
+	// briefly while a stream is migrating toward its owner.
+	Node      string          `json:"node,omitempty"`
+	Owner     string          `json:"owner,omitempty"`
 	Steps     int             `json:"steps"`
 	Ready     int             `json:"ready_steps"`
 	Alerts    int             `json:"alerts"`
@@ -267,11 +311,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case len(parts) == 1 && r.Method == http.MethodGet:
-		s.handleStats(w, id)
+		s.handleStats(w, r, id)
 	case len(parts) == 2 && parts[1] == "observe" && r.Method == http.MethodPost:
 		s.handleObserve(w, r, id)
 	case len(parts) == 2 && parts[1] == "snapshot" && r.Method == http.MethodGet:
 		s.handleSnapshot(w, id)
+	case len(parts) == 2 && parts[1] == "migrate" && r.Method == http.MethodPost:
+		s.handleMigrate(w, r, id)
+	case len(parts) == 2 && parts[1] == "wal" && r.Method == http.MethodGet:
+		s.handleWALTail(w, r, id)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
@@ -299,6 +347,16 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		http.Error(w, "empty vector", http.StatusBadRequest)
 		return
 	}
+	if s.node != nil {
+		if r.Header.Get(cluster.ForwardedHeader) == "" {
+			if owner := s.node.Owner(id); owner != s.node.Self() {
+				s.proxyObserve(w, id, owner, req.Vector)
+				return
+			}
+		} else {
+			s.node.NoteForwardedIn(1)
+		}
+	}
 	res, err := s.reg.Observe(id, req.Vector)
 	if errors.Is(err, ingest.ErrOverload) {
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(s.reg.RetryAfter())))
@@ -317,7 +375,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		http.Error(w, "vector shape does not match this stream's detector", http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, http.StatusOK, toObserveResponse(res))
+	out := toObserveResponse(res)
+	if s.node != nil {
+		out.Node = s.node.Self()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // toObserveResponse maps an ingest result onto the wire format.
@@ -338,9 +400,18 @@ func toObserveResponse(res ingest.Result) ObserveResponse {
 	return out
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, id string) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, id string) {
 	info, ok := s.reg.StreamStats(id)
 	if !ok {
+		// In cluster mode the stream may live on its ring owner; answer
+		// from there so any node can serve any stream's stats. The
+		// forwarded guard keeps two disagreeing nodes from ping-ponging.
+		if s.node != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+			if owner := s.node.Owner(id); owner != s.node.Self() {
+				s.proxyStats(w, id, owner)
+				return
+			}
+		}
 		http.Error(w, "unknown stream", http.StatusNotFound)
 		return
 	}
@@ -348,6 +419,10 @@ func (s *Server) handleStats(w http.ResponseWriter, id string) {
 		ID: id, Steps: info.Steps, Ready: info.Ready, Alerts: info.Alerts,
 		Queued:    info.QueueLen,
 		Threshold: finiteOrZero(info.Threshold),
+	}
+	if s.node != nil {
+		resp.Node = s.node.Self()
+		resp.Owner = s.node.Owner(id)
 	}
 	if len(info.Members) > 0 {
 		resp.Members = make([]MemberStatus, len(info.Members))
@@ -428,6 +503,9 @@ type BatchResult struct {
 	// Dropped marks a vector the drop-oldest policy discarded unscored.
 	Dropped bool   `json:"dropped,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Node is the cluster node that scored the record (empty outside
+	// cluster mode); forwarded records carry the owner's URL here.
+	Node string `json:"node,omitempty"`
 }
 
 const (
@@ -463,11 +541,18 @@ func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	defer func() { s.obsLat.observe(time.Since(start)) }()
+	// clusterActive: this node routes records to their ring owners. A
+	// batch that already crossed the proxy layer (forwarded header) is
+	// scored entirely locally instead — the loop guard.
+	clusterActive := s.node != nil && r.Header.Get(cluster.ForwardedHeader) == ""
 	type pending struct {
-		rec  batchRecord
-		ok   bool        // rec parsed and validated; enqueue it below
-		out  BatchResult // pre-filled for records that never reach a queue
-		done <-chan ingest.Result
+		rec    batchRecord
+		raw    []byte      // original NDJSON line, kept only for forwarding
+		ok     bool        // rec parsed and validated; enqueue it below
+		out    BatchResult // pre-filled for records that never reach a queue
+		done   <-chan ingest.Result
+		fwd    *forwardGroup // non-nil when another node scores this record
+		fwdIdx int           // this record's line index in fwd's response
 	}
 	var pendings []pending
 	sc := bufio.NewScanner(r.Body)
@@ -495,6 +580,9 @@ func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 			p.out = BatchResult{Stream: rec.Stream, Error: "empty vector"}
 		default:
 			p.rec, p.ok = rec, true
+			if clusterActive {
+				p.raw = append([]byte(nil), line...) // scanner reuses its buffer
+			}
 		}
 		pendings = append(pendings, p)
 	}
@@ -506,9 +594,48 @@ func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
 	}
+	// Group remote-owned records into one sub-batch per peer and ship
+	// them concurrently with local scoring; the groups are joined before
+	// the response is written. Records for self (or with no cluster) fall
+	// through to the local enqueue loop below.
+	var groups map[string]*forwardGroup
+	if clusterActive {
+		self := s.node.Self()
+		for i := range pendings {
+			p := &pendings[i]
+			if !p.ok {
+				continue
+			}
+			owner := s.node.Owner(p.rec.Stream)
+			if owner == self {
+				continue
+			}
+			if groups == nil {
+				groups = make(map[string]*forwardGroup)
+			}
+			g := groups[owner]
+			if g == nil {
+				g = &forwardGroup{peer: owner}
+				groups[owner] = g
+			}
+			g.body.Write(p.raw)
+			g.body.WriteByte('\n')
+			p.fwd, p.fwdIdx = g, g.count
+			g.count++
+		}
+	} else if s.node != nil {
+		nOK := 0
+		for i := range pendings {
+			if pendings[i].ok {
+				nOK++
+			}
+		}
+		s.node.NoteForwardedIn(nOK)
+	}
+	fwdWG := forwardAll(s.node, groups)
 	for i := range pendings {
 		p := &pendings[i]
-		if !p.ok {
+		if !p.ok || p.fwd != nil {
 			continue
 		}
 		ack, err := s.reg.Enqueue(p.rec.Stream, p.rec.Vector)
@@ -525,13 +652,20 @@ func (s *Server) handleBatchObserve(w http.ResponseWriter, r *http.Request) {
 			p.done = ack.Done
 		}
 	}
+	fwdWG.Wait()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	for _, p := range pendings {
 		out := p.out
-		if p.done != nil {
+		switch {
+		case p.fwd != nil:
+			out = p.fwd.result(p.fwdIdx, p.rec.Stream)
+		case p.done != nil:
 			out = toBatchResult(out.Stream, <-p.done)
+			if s.node != nil {
+				out.Node = s.node.Self()
+			}
 		}
 		enc.Encode(out)
 	}
@@ -591,6 +725,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeFineTuneMetrics(w, rows)
 	writeCascadeMetrics(w, rows)
 	s.writeIngestMetrics(w)
+	s.writeClusterMetrics(w)
 	hasMembers := false
 	for _, r := range rows {
 		if len(r.Members) > 0 {

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — boot a 3-node streamadd cluster, soak it through
+# every node at once, SIGKILL one node mid-run, and gate on the fleet
+# surviving: zero non-429 5xx responses, bounded per-record errors
+# (requests aimed at the dead node fail at transport until the run
+# ends — that is the client's problem, not the cluster's), and recall
+# holding up on the records that were scored. After the soak the
+# script scrapes a survivor's /metrics and asserts the cluster layer
+# actually worked: records were forwarded between nodes, the killed
+# peer is marked down, and the ring shrank to the two survivors.
+#
+# Used by `make cluster-smoke` (part of `make ci`). Exit 0 all gates
+# met, 1 an SLO or metrics assertion failed, 2 harness error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT1="${CLUSTER_PORT1:-18431}"
+PORT2="${CLUSTER_PORT2:-18432}"
+PORT3="${CLUSTER_PORT3:-18433}"
+URL1="http://127.0.0.1:$PORT1"
+URL2="http://127.0.0.1:$PORT2"
+URL3="http://127.0.0.1:$PORT3"
+PEERS="$URL1,$URL2,$URL3"
+
+command -v curl >/dev/null 2>&1 || { echo "cluster_smoke.sh: curl is required" >&2; exit 2; }
+
+BIN="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/streamadd" ./cmd/streamadd
+go build -o "$BIN/streamload" ./cmd/streamload
+
+# Same small kNN pipeline as soak.sh so streams warm up inside the soak
+# window. Every node gets its own state dir — the WAL feeds both live
+# migration and the warm standby tails — and aggressive cluster timers
+# so failure detection, rebalancing, and standby sync all happen well
+# inside the few seconds the smoke runs. -snapshot-entries 64 keeps WAL
+# tails short without rotating so fast that standbys thrash on resyncs.
+boot_node() { # boot_node <n> <port>
+    local n="$1" port="$2"
+    mkdir -p "$BIN/state$n"
+    "$BIN/streamadd" -addr "127.0.0.1:$port" -channels 4 -model knn -w 8 -m 32 -seed 1 \
+        -alert-quantile 0.98 \
+        -state-dir "$BIN/state$n" -snapshot-entries 64 \
+        -cluster-peers "$PEERS" -cluster-self "http://127.0.0.1:$port" \
+        -cluster-probe-interval 250ms -cluster-probe-failures 2 \
+        -cluster-rebalance-interval 500ms -cluster-standby-interval 300ms \
+        >"$BIN/streamadd$n.log" 2>&1 &
+    PIDS+=($!)
+}
+boot_node 1 "$PORT1"
+boot_node 2 "$PORT2"
+boot_node 3 "$PORT3"
+VICTIM_PID="${PIDS[2]}"
+
+for i in 1 2 3; do
+    url_var="URL$i"
+    ready=""
+    for _ in $(seq 1 100); do
+        if curl -fsS "${!url_var}/healthz" >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$ready" ]; then
+        echo "cluster_smoke.sh: node $i never became healthy:" >&2
+        cat "$BIN/streamadd$i.log" >&2
+        exit 2
+    fi
+done
+
+# SIGKILL (not SIGTERM — no graceful drain, no final checkpoint) the
+# third node partway through the soak, while traffic is flowing.
+(sleep 2.5 && kill -9 "$VICTIM_PID" 2>/dev/null) &
+KILLER_PID=$!
+
+# Multi-target streamload round-robins every request across all three
+# nodes, so roughly 2/3 of records arrive at a non-owner and exercise
+# the forwarding proxy. Gates: zero non-429 5xx — a dead peer must
+# degrade to inline per-record errors, never to a survivor 5xx; the
+# error budget covers both the requests aimed straight at the dead
+# node for the back half of the run (~1/3 x ~1/2) and the forwards
+# that fail during the detection window before the ring drops it; and
+# recall over the records that were scored must hold a floor (killed-
+# node streams fail over to their standbys and keep alerting).
+rc=0
+"$BIN/streamload" -addr "$URL1,$URL2,$URL3" \
+    -streams 48 -rate 100 -batch 8 -vectors 600 -warmup 64 -seed 1 \
+    -slo-p99 2s -slo-error-rate 0.35 -slo-5xx 0 -slo-recall 0.15 \
+    -out "$BIN/BENCH_cluster_smoke.json" || rc=$?
+wait "$KILLER_PID" 2>/dev/null || true
+if [ "$rc" -ne 0 ]; then
+    echo "cluster_smoke.sh: streamload failed (exit $rc); node logs follow" >&2
+    tail -n 40 "$BIN"/streamadd*.log >&2
+    exit "$rc"
+fi
+
+# The soak passed; now prove the cluster layer did the work. Node 1 is
+# a survivor: it must have forwarded records to peers, observed the
+# killed node go down, and shrunk its ring to the two survivors.
+curl -fsS "$URL1/metrics" | awk -v dead="$URL3" '
+    /^streamad_cluster_forwarded_records_total\{/ { fwd += $2 }
+    /^streamad_cluster_node_up\{/ {
+        if (index($0, "\"" dead "\"") && $2 != 0) { print "cluster_smoke.sh: " $0 " — killed peer still marked up"; bad = 1 }
+    }
+    /^streamad_cluster_ring_nodes / {
+        ring = $2
+        if ($2 != 2) { print "cluster_smoke.sh: " $0 " — ring should hold the 2 survivors"; bad = 1 }
+    }
+    END {
+        if (fwd == 0) { print "cluster_smoke.sh: no records were forwarded between nodes"; bad = 1 }
+        if (ring == "") { print "cluster_smoke.sh: no streamad_cluster_ring_nodes sample"; bad = 1 }
+        exit bad
+    }' >&2 || {
+    echo "cluster_smoke.sh: metrics assertions failed; node 1 log follows" >&2
+    tail -n 40 "$BIN/streamadd1.log" >&2
+    exit 1
+}
+
+echo "cluster_smoke.sh: 3-node soak survived a SIGKILL mid-run (report: BENCH_cluster_smoke.json in temp dir)"

@@ -11,6 +11,11 @@
 #                           # running cascade(zscore, knn); recall must
 #                           # hold the plain-knn gate and /metrics must
 #                           # show every stream's admission rate < 50%
+#   scripts/soak.sh shed    # CI gate: overdrive a server running the
+#                           # shed overload policy with a tiny queue;
+#                           # sheds must be reported inline (zero 5xx,
+#                           # zero errors) and /metrics must show a
+#                           # non-zero shed counter
 #
 # The server runs a real streamadd (arima, 4 channels, block overload
 # policy) on a loopback port; it is killed on exit. streamload's exit
@@ -51,6 +56,11 @@ go build -o "$BIN/streamload" ./cmd/streamload
 SPEC_ARGS=(-model knn)
 if [ "$MODE" = cascade ]; then
     SPEC_ARGS=(-spec 'cascade(zscore, knn; admit=0.1, calib=64, gatewin=32)')
+elif [ "$MODE" = shed ]; then
+    # A queue this small under the overdriven send rate below guarantees
+    # the shed policy actually engages; the gates then prove sheds stay
+    # inline 429-style results instead of surfacing as 5xx or errors.
+    SPEC_ARGS=(-model knn -queue-depth 4 -overload shed)
 fi
 "$BIN/streamadd" -addr "$ADDR" -channels 4 "${SPEC_ARGS[@]}" -w 8 -m 32 -seed 1 \
     -alert-quantile 0.98 >"$BIN/streamadd.log" 2>&1 &
@@ -106,8 +116,27 @@ cascade)
             exit bad
         }' >&2
     ;;
+shed)
+    # Overdrive: 32-record batches against a 4-deep queue force the shed
+    # path on nearly every request. No recall gate — shedding on purpose
+    # trims the evaluated set — but sheds must never become 5xx or
+    # per-record errors, and latency must hold (shedding is cheap).
+    "$BIN/streamload" -addr "http://$ADDR" \
+        -streams 32 -rate 400 -batch 32 -vectors 320 -warmup 64 -seed 1 \
+        -slo-p99 750ms -slo-error-rate 0 -slo-5xx 0 \
+        -out "$BIN/BENCH_soak.json"
+    # The SLOs passed; now assert the overload policy actually engaged.
+    curl -fsS "http://$ADDR/metrics" | awk '
+        /^streamad_ingest_shed_total\{/ {
+            n++; if ($2 + 0 == 0) { print "soak.sh: " $0 " — shed policy never engaged"; bad = 1 }
+        }
+        END {
+            if (n == 0) { print "soak.sh: no streamad_ingest_shed_total series in /metrics"; bad = 1 }
+            exit bad
+        }' >&2
+    ;;
 *)
-    echo "usage: scripts/soak.sh [smoke|full|cascade]" >&2
+    echo "usage: scripts/soak.sh [smoke|full|cascade|shed]" >&2
     exit 2
     ;;
 esac
