@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak bench-cascade soak-smoke cascade-smoke shed-smoke cluster-smoke lint fmtcheck staticcheck vulncheck
+.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak bench-cascade bench-scale soak-smoke cascade-smoke shed-smoke drop-smoke scale-smoke cluster-smoke lint fmtcheck staticcheck vulncheck
 
 # ci is the fast gate; the race detector runs as its own CI job (make
 # race) so the concurrency suites don't slow the edit loop. The smoke
 # soaks run last: they need a building tree, and they are the only
 # targets that exercise a live streamadd end to end — soak-smoke on the
 # plain knn pipeline, cascade-smoke on the cascade(zscore, knn) screen,
-# shed-smoke on the shed overload policy under deliberate overdrive,
-# and cluster-smoke on a 3-node cluster that loses a node mid-soak.
-ci: fmtcheck vet lint build test soak-smoke cascade-smoke shed-smoke cluster-smoke
+# shed-smoke and drop-smoke on the shed / drop-oldest overload policies
+# under deliberate overdrive, scale-smoke on the hot/warm/cold residency
+# ladder with a 2k-stream fleet, and cluster-smoke on a 3-node cluster
+# that loses a node mid-soak.
+ci: fmtcheck vet lint build test soak-smoke cascade-smoke shed-smoke drop-smoke scale-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -96,6 +98,21 @@ cascade-smoke:
 shed-smoke:
 	scripts/soak.sh shed
 
+# drop-smoke overdrives a streamadd running the drop-oldest overload
+# policy with a 4-deep queue: displaced vectors must surface as inline
+# dropped results (zero 5xx, zero sheds, zero per-record errors, p99
+# held) and /metrics must show the dropped counter actually moved.
+drop-smoke:
+	scripts/soak.sh drop
+
+# scale-smoke registers a 2k-stream fleet against a live streamadd with
+# the residency ladder enabled (-tier-warm-after, -stream-ttl), then
+# drives only a 1% hot subset: /metrics must show resident (hot+warm)
+# streams collapsing under a hard ceiling while the idle fleet goes
+# cold, with zero non-429 5xx across both phases.
+scale-smoke:
+	scripts/scale_smoke.sh
+
 # cluster-smoke boots a 3-node cluster, soaks it through every node at
 # once, and SIGKILLs one node mid-run: zero non-429 5xx on survivors,
 # bounded per-record errors, recall holds on scored records, and a
@@ -103,6 +120,16 @@ shed-smoke:
 # marked down, and the ring shrunk to 2 nodes.
 cluster-smoke:
 	scripts/cluster_smoke.sh
+
+# bench-scale regenerates BENCH_scale.json: an in-process walk of a
+# 10k-stream fleet around the hot/warm/cold residency ladder with the
+# shared scoring and trainer pools — register all, page all warm, drive
+# the 1% hot set, cold-evict the idle rest. Self-grades: goroutines must
+# stay O(workers) not O(streams), steady-state residency must collapse
+# to the working set, every hot stream must take the warm→hot restore
+# path, and steady heap must sit well under the all-resident heap.
+bench-scale:
+	$(GO) run ./cmd/benchscale -out BENCH_scale.json
 
 # bench-cascade regenerates BENCH_cascade.json: one in-process run of
 # the abrupt-drift scenario through the always-on heavy pipeline and

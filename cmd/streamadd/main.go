@@ -61,6 +61,9 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		asyncFT     = flag.Bool("async-finetune", false, "fine-tune on a background goroutine (serve/train split): scoring keeps serving the old model while the new one trains")
 
+		scoreWorkers = flag.Int("score-workers", 0, "shared scoring-pool workers; dispatcher and ensemble-member scoring run here, keeping goroutines O(workers) not O(streams) (0 = GOMAXPROCS)")
+		trainSlots   = flag.Int("train-slots", 0, "concurrent fine-tune slots in the shared trainer pool with cross-stream fairness (0 = one background goroutine per detector; requires -async-finetune to matter)")
+
 		stateDir     = flag.String("state-dir", "", "directory for snapshots and WALs (empty = no persistence)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "background checkpoint period (requires -state-dir)")
 		snapEntries  = flag.Int("snapshot-entries", 256, "checkpoint a stream once this many vectors sit in its WAL (0 = timer only)")
@@ -69,6 +72,8 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "bounded per-stream ingestion queue depth")
 		overload   = flag.String("overload", "block", "full-queue policy: block (backpressure) | shed (429 + Retry-After) | drop-oldest")
 		streamTTL  = flag.Duration("stream-ttl", 0, "checkpoint and unload streams idle this long (0 = keep forever)")
+		maxStreams = flag.Int("max-streams", 0, "maximum live (hot+warm) streams (0 = 1024)")
+		warmAfter  = flag.Duration("tier-warm-after", 0, "demote streams idle this long to the warm tier: model stays resident, window state pages to -state-dir until the next observe (0 = never; requires -state-dir)")
 
 		clusterPeers   = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster node, self included (empty = single node)")
 		clusterSelf    = flag.String("cluster-self", "", "this node's base URL as it appears in -cluster-peers (required with -cluster-peers)")
@@ -86,9 +91,18 @@ func main() {
 	if *channels <= 0 {
 		log.Fatal("streamadd: -channels is required")
 	}
+	scorePool := streamad.NewScoringPool(*scoreWorkers)
+	defer scorePool.Close()
+	var trainerPool *streamad.TrainerPool
+	if *trainSlots > 0 {
+		trainerPool = streamad.NewTrainerPool(*trainSlots)
+		defer trainerPool.Close()
+	}
 	base := streamad.Config{
 		Channels: *channels, Window: *window, TrainSize: *train, Seed: *seed,
 		AsyncFineTune: *asyncFT,
+		ScorePool:     scorePool,
+		TrainerPool:   trainerPool,
 	}
 	var (
 		newDetector func(string) (server.Stepper, error)
@@ -105,8 +119,10 @@ func main() {
 		if c, ok := probe.(interface{ Close() }); ok {
 			c.Close()
 		}
-		newDetector = func(string) (server.Stepper, error) {
-			return streamad.NewFromSpec(*spec, base)
+		newDetector = func(id string) (server.Stepper, error) {
+			b := base
+			b.TrainerKey = id // the stream is the trainer pool's fairness principal
+			return streamad.NewFromSpec(*spec, b)
 		}
 		pipeline = "spec=" + *spec
 	} else {
@@ -128,8 +144,10 @@ func main() {
 		}
 		cfg := base
 		cfg.Model, cfg.Task1, cfg.Task2, cfg.Score = mk, t1, t2, sk
-		newDetector = func(string) (server.Stepper, error) {
-			return streamad.New(cfg)
+		newDetector = func(id string) (server.Stepper, error) {
+			c := cfg
+			c.TrainerKey = id
+			return streamad.New(c)
 		}
 		pipeline = fmt.Sprintf("model=%v task1=%v task2=%v score=%v", mk, t1, t2, sk)
 	}
@@ -182,10 +200,14 @@ func main() {
 	srv, err := server.New(server.Config{
 		NewDetector:      newDetector,
 		NewThresholder:   newThresholder,
+		MaxStreams:       *maxStreams,
 		Shards:           *shards,
 		QueueDepth:       *queueDepth,
 		Overload:         policy,
 		StreamTTL:        *streamTTL,
+		WarmAfter:        *warmAfter,
+		ScorePool:        scorePool,
+		TrainerPool:      trainerPool,
 		Store:            store,
 		SnapshotInterval: *snapInterval,
 		SnapshotEvery:    *snapEntries,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"streamad/internal/core"
 	"streamad/internal/ensemble"
 	"streamad/internal/ingest"
 )
@@ -56,6 +57,11 @@ var (
 	// snapshotter/evictor. Breaking either facet breaks the daemon.
 	_ ingest.Stepper      = (StreamDetector)(nil)
 	_ ingest.Checkpointer = (StreamDetector)(nil)
+
+	// Detectors and ensembles support warm-tier paging (core.Pager), so
+	// the registry's tiering policy can demote their window state.
+	_ core.Pager = (*Detector)(nil)
+	_ core.Pager = (*Ensemble)(nil)
 )
 
 // PipelineSpec names one detector pipeline: the (model × Task 1 × Task 2
@@ -177,6 +183,7 @@ func NewEnsemble(base Config, spec EnsembleSpec) (*Ensemble, error) {
 	inner, err := ensemble.New(ensemble.Config{
 		Members:      members,
 		Labels:       labels,
+		Pool:         base.ScorePool,
 		Agg:          spec.Agg,
 		Verdict:      spec.Verdict,
 		CounterCap:   spec.CounterCap,
@@ -278,6 +285,18 @@ func (e *Ensemble) Save() ([]byte, error) { return e.inner.Save() }
 // and policy mismatches are rejected.
 func (e *Ensemble) Load(data []byte) error { return e.inner.Load(data) }
 
-// Close stops the member worker goroutines; stepping after Close panics.
-// Optional — process-lifetime ensembles never need it.
+// PageOut demotes every member to the warm tier (drain fine-tunes,
+// serialize window state, release backing storage) and returns the
+// combined blob; models stay resident. Step panics until PageIn.
+func (e *Ensemble) PageOut() ([]byte, error) { return e.inner.PageOut() }
+
+// PageIn restores state paged out by PageOut, bit-identically.
+func (e *Ensemble) PageIn(blob []byte) error { return e.inner.PageIn(blob) }
+
+// Paged reports whether the members' window state is paged out.
+func (e *Ensemble) Paged() bool { return e.inner.Paged() }
+
+// Close drains every member's in-flight fine-tune so no trainer-pool
+// task outlives the ensemble. The ensemble remains usable; optional for
+// process-lifetime ensembles.
 func (e *Ensemble) Close() { e.inner.Close() }

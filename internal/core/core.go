@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"streamad/internal/drift"
 	"streamad/internal/reservoir"
@@ -145,6 +146,16 @@ type Config struct {
 	// silently stays synchronous. Off by default: synchronous mode is
 	// bit-identical and fully deterministic.
 	AsyncFineTune bool
+	// TrainerPool, when set together with AsyncFineTune, routes
+	// drift-triggered fine-tunes through a shared bounded pool instead of
+	// spawning one goroutine per fine-tune. The clone and training-set
+	// snapshot are taken lazily when a pool slot dequeues the job, so a
+	// queued fine-tune pins no deep copies; Step briefly synchronizes with
+	// that snapshot phase via a mutex. Ignored in synchronous mode.
+	TrainerPool TrainerPool
+	// TrainerKey identifies this detector's stream in the trainer pool's
+	// cross-stream fairness ordering. Only meaningful with TrainerPool.
+	TrainerKey string
 }
 
 // Result is the per-time-step output of the Detector.
@@ -183,6 +194,9 @@ type Detector struct {
 	sanitized  int
 	attrBuf    []float64
 	asyncFT    bool // serve/train split active
+	poolFT     bool // fine-tunes routed through the shared trainer pool
+	paged      bool // window state released to the snapshot store (warm tier)
+	trainMu    sync.Mutex
 	train      *trainer
 }
 
@@ -220,6 +234,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	}
 	if _, ok := cfg.Model.(Cloner); ok && cfg.AsyncFineTune {
 		d.asyncFT = true
+		d.poolFT = cfg.TrainerPool != nil
 	}
 	return d, nil
 }
@@ -260,6 +275,15 @@ func (d *Detector) Sanitized() int { return d.sanitized }
 //
 //streamad:hotpath
 func (d *Detector) Step(s []float64) (Result, bool) {
+	if d.paged {
+		panic("core: Step on paged-out detector; PageIn first")
+	}
+	if d.poolFT {
+		// Exclude the trainer pool's lazy clone+snapshot phase; the lock is
+		// uncontended except in the instant a queued fine-tune dequeues.
+		d.trainMu.Lock()
+		defer d.trainMu.Unlock()
+	}
 	d.steps++
 	if d.asyncFT {
 		d.adoptTrained()

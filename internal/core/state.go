@@ -16,6 +16,9 @@ func (r *Representer) MarshalBinary() ([]byte, error) { return r.win.MarshalBina
 // mirror is invalidated so the next Push rebuilds it from the ring.
 func (r *Representer) UnmarshalBinary(data []byte) error {
 	r.primed = false
+	if r.flat == nil {
+		r.flat = make([]float64, r.rows*r.channels) // paged out by Release
+	}
 	return r.win.UnmarshalBinary(data)
 }
 
@@ -126,5 +129,8 @@ func (d *Detector) UnmarshalBinary(data []byte) error {
 		d.lastGood = nil
 		d.sanBuf = nil
 	}
+	// A full restore reallocates every component's backing storage, so a
+	// paged-out detector loaded from snapshot is resident again.
+	d.paged = false
 	return nil
 }

@@ -15,6 +15,16 @@ type Cloner interface {
 	CloneModel() any
 }
 
+// TrainerPool is the shared bounded fine-tune pool the detector can route
+// asynchronous training through instead of spawning per-fine-tune
+// goroutines (implemented by internal/pool.Trainer). Submit queues one
+// job for the stream key; the returned cancel reports true when it won
+// the race against dequeue, in which case the job will never run and the
+// caller owns its cleanup.
+type TrainerPool interface {
+	Submit(key string, run func()) (cancel func() bool)
+}
+
 // FineTuneBuckets are the upper bounds (seconds) of the fine-tune
 // duration histogram in FineTuneStats; an implicit +Inf bucket follows.
 var FineTuneBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
@@ -58,6 +68,7 @@ type trainer struct {
 	inFlight   atomic.Int32
 	pending    atomic.Pointer[trainedModel]
 	wg         sync.WaitGroup
+	cancel     func() bool // pending pool job's cancel; scoring-goroutine only
 	launched   atomic.Int64
 	skipped    atomic.Int64
 	completed  atomic.Int64
@@ -108,6 +119,17 @@ func (d *Detector) fineTune() bool {
 		d.cfg.Drift.Reset(d.cfg.TrainingSet)
 		return false
 	}
+	if d.poolFT {
+		// Pool mode: enqueue a job that clones the model and snapshots the
+		// training set lazily when a slot dequeues it, so however long the
+		// job queues it pins no deep copies. Step excludes that snapshot
+		// phase via trainMu (already held here — Step calls fineTune).
+		d.cfg.Drift.Reset(d.cfg.TrainingSet)
+		d.train.launched.Add(1)
+		d.train.wg.Add(1)
+		d.train.cancel = d.cfg.TrainerPool.Submit(d.cfg.TrainerKey, d.poolFineTune)
+		return true
+	}
 	clone := d.cfg.Model.(Cloner).CloneModel().(Model)
 	set := snapshotSet(d.cfg.TrainingSet.Items())
 	d.cfg.Drift.Reset(d.cfg.TrainingSet)
@@ -124,6 +146,45 @@ func (d *Detector) fineTune() bool {
 		d.train.inFlight.Store(0)
 	}()
 	return true
+}
+
+// poolFineTune is the body of a trainer-pool job: clone and snapshot
+// under trainMu (excluding Step for just that phase), then train outside
+// the lock and publish for adoption, exactly like the goroutine path.
+// Runs on a pool slot, or inline on the scoring goroutine when a drain
+// wins the cancel race.
+func (d *Detector) poolFineTune() {
+	defer d.train.wg.Done()
+	d.trainMu.Lock()
+	clone := d.cfg.Model.(Cloner).CloneModel().(Model)
+	set := snapshotSet(d.cfg.TrainingSet.Items())
+	d.trainMu.Unlock()
+	start := time.Now()
+	clone.Fit(set)
+	d.train.record(time.Since(start))
+	// Publish before clearing inFlight so a new launch can only start
+	// once its predecessor's result is visible for adoption.
+	d.train.pending.Store(&trainedModel{model: clone})
+	d.train.inFlight.Store(0)
+}
+
+// drainPool settles the detector's pending trainer-pool job: if it is
+// still queued the cancel wins and the job either runs inline (train) or
+// is discarded (a dropped fine-tune, e.g. at eviction); if a slot already
+// claimed it, the wait joins it. Must run on the scoring goroutine with
+// trainMu NOT held.
+func (d *Detector) drainPool(train bool) {
+	c := d.train.cancel
+	d.train.cancel = nil
+	if c != nil && c() {
+		if train {
+			d.poolFineTune()
+		} else {
+			d.train.wg.Done()
+			d.train.inFlight.Store(0)
+		}
+	}
+	d.train.wg.Wait()
 }
 
 // adoptTrained swaps in a background-trained model if one is pending.
@@ -158,8 +219,30 @@ func (d *Detector) WaitFineTune() {
 	if !d.asyncFT {
 		return
 	}
-	d.train.wg.Wait()
+	if d.poolFT {
+		d.drainPool(true)
+	} else {
+		d.train.wg.Wait()
+	}
 	d.adoptTrained()
+}
+
+// Close settles any outstanding asynchronous training without adopting
+// its result: a queued pool fine-tune is canceled (its model would be
+// discarded anyway), an in-flight one is joined. After Close the detector
+// holds no pool or goroutine references; eviction paths must call it so a
+// TTL-evicted stream cannot leak an in-flight trainer. Safe to call more
+// than once; the detector remains usable (a later Step may trigger new
+// fine-tunes).
+func (d *Detector) Close() {
+	if !d.asyncFT {
+		return
+	}
+	if d.poolFT {
+		d.drainPool(false)
+	} else {
+		d.train.wg.Wait()
+	}
 }
 
 // FineTuneStats returns a snapshot of fine-tuning activity. Unlike most

@@ -7,11 +7,16 @@
 // handful of diverse pipelines score every vector and a combiner merges
 // their verdicts.
 //
-// Members step concurrently — one persistent goroutine per member, with a
-// join barrier per vector — so the ensemble's latency is the slowest
-// member's, not the sum, while per-stream ordering is fully preserved:
-// Step(t) returns only after every member has consumed vector t, and no
-// member sees vector t+1 before that.
+// Members are passive tasks, not goroutine owners: with a shared scoring
+// pool configured, Step fans the vector out as claimable pool tasks (the
+// caller helps run unclaimed ones, so latency is the slowest member's,
+// not the sum, and a Step issued from inside a pool worker cannot
+// deadlock); without a pool, members step serially inline. Either way
+// per-stream ordering is fully preserved — Step(t) returns only after
+// every member has consumed vector t, and no member sees vector t+1
+// before that — and the combined scores are bit-identical across modes,
+// because members are independent and float aggregation happens in fixed
+// member order after the join.
 //
 // Performance weighting generalizes PCB-iForest's per-tree performance
 // counters (Heigl et al.) from trees to whole pipelines: each member
@@ -28,6 +33,7 @@ import (
 	"sync"
 
 	"streamad/internal/core"
+	"streamad/internal/pool"
 )
 
 // Member is one pipeline of the ensemble. streamad.Detector satisfies it;
@@ -69,14 +75,16 @@ type Config struct {
 	// PruneBelow is the disable threshold; must be negative so a fresh
 	// member (counter 0) is never born disabled (default -16).
 	PruneBelow int
+	// Pool, when set, is the shared scoring pool member steps are
+	// scheduled onto; nil steps members serially on the caller. Scores
+	// are bit-identical either way.
+	Pool *pool.Pool
 }
 
 // member is the runtime state of one pipeline.
 type member struct {
 	det   Member
 	label string
-	in    chan []float64
-	out   chan stepOut
 
 	// The fields below are owned by the Step caller (written only after
 	// the join barrier) and by the stats accessors, which the caller must
@@ -95,16 +103,8 @@ type stepOut struct {
 	panicked interface{}
 }
 
-// loop is the member's worker goroutine: it applies vectors in arrival
-// order and answers through out, converting panics into values so a bad
-// vector surfaces in the calling goroutine instead of crashing the
-// process.
-func (m *member) loop() {
-	for v := range m.in {
-		m.out <- m.step(v)
-	}
-}
-
+// step applies one vector, converting panics into values so a bad vector
+// surfaces in the calling goroutine instead of crashing a pool worker.
 func (m *member) step(v []float64) (out stepOut) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -120,6 +120,7 @@ func (m *member) step(v []float64) (out stepOut) {
 // callers serialize Step (the HTTP server holds one lock per stream).
 type Ensemble struct {
 	members    []*member
+	pool       *pool.Pool
 	agg        Agg
 	verdict    float64
 	counterCap int
@@ -129,6 +130,8 @@ type Ensemble struct {
 	steps      int
 	readySteps int
 
+	stepVec []float64 // the vector tasks read; set before each fan-out
+	tasks   []func()  // preallocated per-member pool tasks
 	outs    []stepOut
 	scores  []float64
 	nonconf []float64
@@ -138,10 +141,8 @@ type Ensemble struct {
 	closeOnce sync.Once
 }
 
-// New validates the configuration, starts one worker goroutine per member
-// and returns the Ensemble.
-//
-//streamad:lifecycle — member loops exit on input-channel close; Close waits for each.
+// New validates the configuration and returns the Ensemble. Members own
+// no goroutines: they run on the shared scoring pool (or inline).
 func New(cfg Config) (*Ensemble, error) {
 	if len(cfg.Members) < 2 {
 		return nil, fmt.Errorf("ensemble: need at least 2 members, got %d", len(cfg.Members))
@@ -176,11 +177,13 @@ func New(cfg Config) (*Ensemble, error) {
 	n := len(cfg.Members)
 	e := &Ensemble{
 		members:    make([]*member, n),
+		pool:       cfg.Pool,
 		agg:        cfg.Agg,
 		verdict:    cfg.Verdict,
 		counterCap: cfg.CounterCap,
 		pruneOn:    cfg.PruneEnabled,
 		pruneBelow: cfg.PruneBelow,
+		tasks:      make([]func(), n),
 		outs:       make([]stepOut, n),
 		scores:     make([]float64, 0, n),
 		nonconf:    make([]float64, 0, n),
@@ -195,9 +198,10 @@ func New(cfg Config) (*Ensemble, error) {
 		if len(cfg.Labels) > 0 && cfg.Labels[i] != "" {
 			label = cfg.Labels[i]
 		}
-		m := &member{det: det, label: label, in: make(chan []float64), out: make(chan stepOut)}
+		m := &member{det: det, label: label}
 		e.members[i] = m
-		go m.loop()
+		i := i
+		e.tasks[i] = func() { e.outs[i] = m.step(e.stepVec) }
 	}
 	return e, nil
 }
@@ -210,14 +214,20 @@ func New(cfg Config) (*Ensemble, error) {
 // in the caller after the join, preserving the single-detector contract.
 func (e *Ensemble) Step(s []float64) (core.Result, bool) {
 	e.steps++
-	for _, m := range e.members {
-		m.in <- s
+	if e.pool != nil {
+		e.stepVec = s
+		e.pool.Run(e.tasks...)
+		e.stepVec = nil
+	} else {
+		for i, m := range e.members {
+			e.outs[i] = m.step(s)
+		}
 	}
 	var panicked interface{}
-	for i, m := range e.members {
-		e.outs[i] = <-m.out
-		if e.outs[i].panicked != nil && panicked == nil {
+	for i := range e.outs {
+		if e.outs[i].panicked != nil {
 			panicked = e.outs[i].panicked
+			break
 		}
 	}
 	if panicked != nil {
@@ -433,13 +443,76 @@ func (e *Ensemble) WaitFineTune() {
 	}
 }
 
-// Close stops the member worker goroutines. Stepping a closed ensemble
-// panics. Close is optional — an ensemble that lives for the process
-// lifetime (the server's case) never needs it — and safe to call twice.
+// Close settles every member's outstanding asynchronous training (the
+// ensemble itself owns no goroutines). Eviction paths must call it so a
+// TTL-evicted stream cannot leak in-flight trainers; safe to call twice,
+// and the ensemble remains steppable after.
 func (e *Ensemble) Close() {
 	e.closeOnce.Do(func() {
 		for _, m := range e.members {
-			close(m.in)
+			if c, ok := m.det.(interface{ Close() }); ok {
+				c.Close()
+			}
 		}
 	})
+}
+
+// PageOut implements core.Pager member-wise: it requires every member to
+// be a Pager (all-or-nothing — no member is paged if any cannot be) and
+// concatenates their blobs. Aggregation counters stay resident; they are
+// snapshot state handled by Save/Load, not window state.
+func (e *Ensemble) PageOut() ([]byte, error) {
+	pagers := make([]core.Pager, len(e.members))
+	for i, m := range e.members {
+		p, ok := m.det.(core.Pager)
+		if !ok {
+			return nil, fmt.Errorf("ensemble: member %d (%T) is not pageable", i, m.det)
+		}
+		pagers[i] = p
+	}
+	blobs := make([][]byte, len(pagers))
+	for i, p := range pagers {
+		b, err := p.PageOut()
+		if err != nil {
+			// Roll the already-paged members back in so the ensemble stays
+			// consistent (either fully resident or fully paged).
+			for j := 0; j < i; j++ {
+				_ = pagers[j].PageIn(blobs[j])
+			}
+			return nil, fmt.Errorf("ensemble: page out member %d: %w", i, err)
+		}
+		blobs[i] = b
+	}
+	return encodePageSet(blobs)
+}
+
+// PageIn implements core.Pager, restoring a PageOut blob member-wise.
+func (e *Ensemble) PageIn(data []byte) error {
+	blobs, err := decodePageSet(data)
+	if err != nil {
+		return err
+	}
+	if len(blobs) != len(e.members) {
+		return fmt.Errorf("ensemble: page set holds %d members, ensemble has %d", len(blobs), len(e.members))
+	}
+	for i, m := range e.members {
+		p, ok := m.det.(core.Pager)
+		if !ok {
+			return fmt.Errorf("ensemble: member %d (%T) is not pageable", i, m.det)
+		}
+		if err := p.PageIn(blobs[i]); err != nil {
+			return fmt.Errorf("ensemble: page in member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Paged implements core.Pager: true when the members are paged out.
+func (e *Ensemble) Paged() bool {
+	for _, m := range e.members {
+		if p, ok := m.det.(core.Pager); ok {
+			return p.Paged()
+		}
+	}
+	return false
 }

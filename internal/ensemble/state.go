@@ -30,6 +30,24 @@ type snapshot struct {
 	LastScore  []float64
 }
 
+// encodePageSet serializes the per-member PageOut blobs of an ensemble.
+func encodePageSet(blobs [][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blobs); err != nil {
+		return nil, fmt.Errorf("ensemble: encode page set: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePageSet reverses encodePageSet.
+func decodePageSet(data []byte) ([][]byte, error) {
+	var blobs [][]byte
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blobs); err != nil {
+		return nil, fmt.Errorf("ensemble: decode page set: %w", err)
+	}
+	return blobs, nil
+}
+
 // Save returns a binary checkpoint composing every member's full
 // checkpoint (each member must implement Checkpointer) with the
 // ensemble's own counters. An ensemble restored with Load scores

@@ -106,7 +106,13 @@ func (r *Registry) Handoff(id string) (*HandoffState, error) {
 	}
 	st.qmu.Unlock()
 	st.procMu.Lock()
-	hs, err := r.capture(id, st)
+	hs, err := func() (*HandoffState, error) {
+		// A warm stream's fingerprint needs its window state resident.
+		if err := r.ensureResident(st); err != nil {
+			return nil, err
+		}
+		return r.capture(id, st)
+	}()
 	st.procMu.Unlock()
 	if err != nil {
 		st.qmu.Lock()
@@ -169,7 +175,7 @@ func (r *Registry) Adopt(id string, snap *persist.StreamSnapshot, tail []persist
 	if err != nil {
 		return 0, err
 	}
-	st := newStream(id, det, r.cfg.NewThresholder(id))
+	st := r.newStream(id, det, r.cfg.NewThresholder(id))
 	if err := loadSnapshotInto(st, snap); err != nil {
 		return 0, err
 	}
@@ -189,7 +195,7 @@ func (r *Registry) Adopt(id string, snap *persist.StreamSnapshot, tail []persist
 // been tailing the failed owner's WAL. seq is the replica's consumed
 // boundary; ready and alerts seed the serving counters.
 func (r *Registry) Install(id string, det Stepper, th score.Thresholder, seq uint64, ready, alerts int64) error {
-	st := newStream(id, det, th)
+	st := r.newStream(id, det, th)
 	st.seq = seq
 	st.seqDone = seq
 	st.steps.Store(int64(seq))
@@ -232,6 +238,16 @@ func (r *Registry) install(st *stream) error {
 	}
 	r.history.Add(1)
 	sh.mu.Unlock()
+	if exists {
+		// The replaced stream's queued items finish on the detached
+		// object; drain its in-flight fine-tunes so no trainer-pool task
+		// outlives the replacement holding stale state.
+		old.procMu.Lock()
+		if c, ok := old.det.(interface{ Close() }); ok {
+			c.Close()
+		}
+		old.procMu.Unlock()
+	}
 	if r.cfg.Store == nil {
 		return nil
 	}

@@ -43,6 +43,7 @@ import (
 	"streamad/internal/core"
 	"streamad/internal/ensemble"
 	"streamad/internal/persist"
+	"streamad/internal/pool"
 	"streamad/internal/score"
 )
 
@@ -133,6 +134,39 @@ type Config struct {
 	// Logf receives persistence and eviction diagnostics
 	// (default: discard).
 	Logf func(format string, args ...interface{})
+	// ScorePool is the shared scoring pool stream dispatchers run on. When
+	// nil the registry creates and owns one sized to GOMAXPROCS; when set
+	// (e.g. so ensembles share the same workers) the caller owns it.
+	ScorePool *pool.Pool
+	// WarmAfter, when positive (requires Store), demotes streams with no
+	// observes for the duration from hot to warm: the detector's window
+	// state is paged to the snapshot store while the model stays resident.
+	// The next observe transparently pages it back in. Combined with
+	// StreamTTL > WarmAfter this yields the hot/warm/cold residency
+	// ladder; detectors that don't implement core.Pager stay hot until
+	// cold eviction.
+	WarmAfter time.Duration
+}
+
+// Tier is a stream's residency tier. Cold streams are not resident at
+// all (checkpointed and unloaded), so only Hot and Warm appear on live
+// streams.
+type Tier int32
+
+const (
+	// TierHot streams are fully resident.
+	TierHot Tier = iota
+	// TierWarm streams keep the model resident with window state paged to
+	// the snapshot store.
+	TierWarm
+)
+
+// String names the tier for stats and metrics labels.
+func (t Tier) String() string {
+	if t == TierWarm {
+		return "warm"
+	}
+	return "hot"
 }
 
 // Registry is the sharded stream registry.
@@ -142,6 +176,8 @@ type Registry struct {
 	nlive   atomic.Int64 // live streams, bounded by MaxStreams
 	met     ingestMetrics
 	history atomic.Int64 // streams ever created (diagnostics)
+	pool    *pool.Pool   // scoring pool dispatchers run on
+	ownPool bool         // the registry created pool and must close it
 
 	snapStop  chan struct{}
 	snapDone  chan struct{}
@@ -175,12 +211,15 @@ type stream struct {
 	closed  bool   // evicted; admissions must retry against a new stream
 	seq     uint64 // next sequence number to assign
 
+	dispatchFn func() // preallocated pool task: run this stream's dispatcher
+
 	procMu   sync.Mutex
 	det      Stepper
 	th       score.Thresholder
-	seqDone  uint64 // all records with seq < seqDone are scored (or skipped)
-	walSince int    // WAL appends since the last snapshot
-	snapSeq  uint64 // seq boundary of the last written snapshot; WAL tails below it are gone
+	tier     atomic.Int32 // Tier; transitions under procMu, read lock-free
+	seqDone  uint64       // all records with seq < seqDone are scored (or skipped)
+	walSince int          // WAL appends since the last snapshot
+	snapSeq  uint64       // seq boundary of the last written snapshot; WAL tails below it are gone
 
 	// The observable counters are atomics written under procMu but read
 	// lock-free, so GET /v1/streams and /metrics never stall behind an
@@ -259,7 +298,16 @@ func New(cfg Config) (*Registry, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
+	if cfg.WarmAfter > 0 && cfg.Store == nil {
+		return nil, fmt.Errorf("ingest: WarmAfter requires a Store to page window state to")
+	}
 	r := &Registry{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	if cfg.ScorePool != nil {
+		r.pool = cfg.ScorePool
+	} else {
+		r.pool = pool.NewScoring(0)
+		r.ownPool = true
+	}
 	for i := range r.shards {
 		r.shards[i] = &shard{streams: make(map[string]*stream)}
 	}
@@ -269,10 +317,16 @@ func New(cfg Config) (*Registry, error) {
 		r.snapKick = make(chan string, 64)
 		go r.snapshotter()
 	}
-	if cfg.StreamTTL > 0 {
+	// One maintenance loop serves both recency policies; it wakes at a
+	// quarter of the shortest configured horizon.
+	wake := cfg.StreamTTL
+	if cfg.WarmAfter > 0 && (wake <= 0 || cfg.WarmAfter < wake) {
+		wake = cfg.WarmAfter
+	}
+	if wake > 0 {
 		iv := cfg.EvictInterval
 		if iv <= 0 {
-			iv = cfg.StreamTTL / 4
+			iv = wake / 4
 		}
 		if iv < 10*time.Millisecond {
 			iv = 10 * time.Millisecond
@@ -286,6 +340,9 @@ func New(cfg Config) (*Registry, error) {
 	}
 	return r, nil
 }
+
+// ScorePoolStats snapshots the scoring pool's load.
+func (r *Registry) ScorePoolStats() pool.Stats { return r.pool.Stats() }
 
 // RetryAfter is the back-off hint producers should honour after a shed.
 func (r *Registry) RetryAfter() time.Duration { return r.cfg.RetryAfter }
@@ -336,10 +393,15 @@ func (r *Registry) getOrCreate(id string) (*stream, error) {
 }
 
 // newStream wires a bare stream (no detector state yet).
-func newStream(id string, det Stepper, th score.Thresholder) *stream {
+func (r *Registry) newStream(id string, det Stepper, th score.Thresholder) *stream {
 	st := &stream{id: id, det: det, th: th}
 	st.notFull.L = &st.qmu
 	st.thBits.Store(math.Float64bits(th.Threshold()))
+	st.dispatchFn = func() { r.dispatch(st) }
+	// Stamp creation as a touch: without it a concurrent evictor pass in
+	// the window before admit's own stamp sees lastTouch == 0 and evicts
+	// the stream the moment it is born.
+	st.lastTouch.Store(time.Now().UnixNano())
 	return st
 }
 
@@ -362,16 +424,16 @@ func (r *Registry) Observe(id string, vec []float64) (Result, error) {
 // Enqueue admits one vector asynchronously and returns its Ack; the
 // batch endpoint uses it to queue a whole NDJSON batch before waiting,
 // which is what lets the dispatcher coalesce same-stream records into
-// one detector pass.
-//
-//streamad:lifecycle — starts the per-stream dispatcher; Close drains it via procMu.
+// one detector pass. The dispatcher hop runs as a scoring-pool task, not
+// a spawned goroutine, so concurrency stays O(workers) however many
+// streams are live.
 func (r *Registry) Enqueue(id string, vec []float64) (Ack, error) {
 	st, it, start, err := r.admit(id, vec)
 	if err != nil {
 		return Ack{}, err
 	}
 	if start {
-		go r.dispatch(st)
+		r.pool.Submit(st.dispatchFn)
 	}
 	return Ack{Seq: it.seq, Done: it.done}, nil
 }
@@ -455,6 +517,15 @@ func (r *Registry) dispatch(st *stream) {
 		st.qmu.Unlock()
 		r.met.observeBatch(len(batch))
 		st.procMu.Lock()
+		if err := r.ensureResident(st); err != nil {
+			// The stream cannot score without its paged window state; fail
+			// the batch rather than step a hollow detector.
+			for _, it := range batch {
+				it.done <- Result{Seq: it.seq, Err: fmt.Errorf("ingest: page in %q: %w", st.id, err)}
+			}
+			st.procMu.Unlock()
+			continue
+		}
 		for _, it := range batch {
 			it.done <- r.processLocked(st, it)
 		}
@@ -529,7 +600,9 @@ func safeStep(det Stepper, v []float64) (res core.Result, out stepOutcome) {
 	return r, stepOutcome{ok: true}
 }
 
-// evictor is the idle-stream scan loop.
+// evictor is the idle-stream maintenance loop: warm paging first (so a
+// stream can pass through hot→warm→cold on successive scans), then cold
+// eviction.
 func (r *Registry) evictor(interval time.Duration) {
 	defer close(r.evictDone)
 	t := time.NewTicker(interval)
@@ -539,7 +612,9 @@ func (r *Registry) evictor(interval time.Duration) {
 		case <-r.evictStop:
 			return
 		case <-t.C:
-			r.EvictIdle(time.Now())
+			now := time.Now()
+			r.PageIdle(now)
+			r.EvictIdle(now)
 		}
 	}
 }
@@ -580,6 +655,23 @@ func (r *Registry) EvictIdle(now time.Time) int {
 					st.qmu.Unlock()
 					continue
 				}
+				// The page file (if any) duplicates the snapshot; the restore
+				// path rebuilds from snapshot + WAL.
+				if err := r.cfg.Store.RemovePage(id); err != nil {
+					r.cfg.Logf("streamad: evict %q: %v", id, err)
+				}
+			}
+			// Settle background training before the detector is dropped so
+			// eviction cannot leak an in-flight trainer or queued pool job.
+			st.procMu.Lock()
+			if c, ok := st.det.(interface{ Close() }); ok {
+				c.Close()
+			}
+			st.procMu.Unlock()
+			if Tier(st.tier.Load()) == TierWarm {
+				r.met.warmToCold.Add(1)
+			} else {
+				r.met.hotToCold.Add(1)
 			}
 			delete(sh.streams, id)
 			r.nlive.Add(-1)
@@ -615,6 +707,7 @@ type StreamInfo struct {
 	Alerts    int
 	QueueLen  int
 	Threshold float64
+	Tier      string                // residency tier ("hot" or "warm"; cold streams are not listed)
 	Members   []ensemble.MemberStat // ensemble-backed streams only
 	// Cascade carries the per-tier screening counters for cascade-backed
 	// streams (nil otherwise). Like Members it needs the detector
@@ -673,6 +766,7 @@ func (r *Registry) streamInfo(st *stream) StreamInfo {
 	info.Ready = int(st.ready.Load())
 	info.Alerts = int(st.alerts.Load())
 	info.Threshold = math.Float64frombits(st.thBits.Load())
+	info.Tier = Tier(st.tier.Load()).String()
 	// Member detail needs the detector quiescent; rather than stall the
 	// scrape behind an in-flight pass, omit it when the stream is busy —
 	// the counters above are still fresh.
@@ -706,6 +800,9 @@ func (r *Registry) Close() error {
 			<-r.snapDone
 		}
 		r.closeErr = r.SnapshotAll()
+		if r.ownPool {
+			r.pool.Close()
+		}
 	})
 	return r.closeErr
 }

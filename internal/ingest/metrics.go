@@ -4,7 +4,15 @@
 // and queue depth.
 package ingest
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"streamad/internal/pool"
+)
+
+// PoolStats re-exports the shared worker pool's stats snapshot so
+// callers reading Stats need not import internal/pool.
+type PoolStats = pool.Stats
 
 // BatchSizeBounds are the histogram's upper bucket bounds (a final +Inf
 // bucket is implicit via Batches).
@@ -16,6 +24,14 @@ type ingestMetrics struct {
 	shed    atomic.Uint64
 	dropped atomic.Uint64
 	evicted atomic.Uint64
+
+	// Tier ladder transitions (hot ⇄ warm ⇄ cold, plus the eviction
+	// shortcut hot→cold and the restore shortcut cold→hot).
+	hotToWarm  atomic.Uint64
+	warmToHot  atomic.Uint64
+	warmToCold atomic.Uint64
+	hotToCold  atomic.Uint64
+	coldToHot  atomic.Uint64
 
 	batches  atomic.Uint64
 	batchSum atomic.Uint64
@@ -50,6 +66,22 @@ type Stats struct {
 	StreamsTotal  int64 // streams ever created (incl. restored/evicted)
 	QueuedVectors int   // vectors currently queued across all streams
 
+	// Residency tiers. Hot+Warm = Streams (resident); Cold counts
+	// checkpointed-but-unloaded streams in the store.
+	HotStreams  int
+	WarmStreams int
+	ColdStreams int
+
+	// Tier transition totals since start.
+	HotToWarm  uint64
+	WarmToHot  uint64
+	WarmToCold uint64
+	HotToCold  uint64
+	ColdToHot  uint64
+
+	// ScorePool is the shared scoring pool's instantaneous load.
+	ScorePool PoolStats
+
 	ShedTotal    uint64
 	DroppedTotal uint64
 	EvictedTotal uint64
@@ -75,6 +107,12 @@ func (r *Registry) Stats() Stats {
 		ShedTotal:    r.met.shed.Load(),
 		DroppedTotal: r.met.dropped.Load(),
 		EvictedTotal: r.met.evicted.Load(),
+		HotToWarm:    r.met.hotToWarm.Load(),
+		WarmToHot:    r.met.warmToHot.Load(),
+		WarmToCold:   r.met.warmToCold.Load(),
+		HotToCold:    r.met.hotToCold.Load(),
+		ColdToHot:    r.met.coldToHot.Load(),
+		ScorePool:    r.pool.Stats(),
 		Batches:      r.met.batches.Load(),
 		BatchSizeSum: r.met.batchSum.Load(),
 		PerShard:     make([]ShardStat, len(r.shards)),
@@ -94,10 +132,25 @@ func (r *Registry) Stats() Stats {
 			st.qmu.Lock()
 			ss.QueueDepth += len(st.queue)
 			st.qmu.Unlock()
+			if Tier(st.tier.Load()) == TierWarm {
+				s.WarmStreams++
+			} else {
+				s.HotStreams++
+			}
 		}
 		s.PerShard[i] = ss
 		s.Streams += ss.Streams
 		s.QueuedVectors += ss.QueueDepth
+	}
+	if r.cfg.Store != nil {
+		// Cold = checkpointed in the store but not resident. A readdir per
+		// scrape; best-effort (a listing error just reports zero).
+		if ids, err := r.cfg.Store.IDs(); err == nil {
+			cold := len(ids) - s.Streams
+			if cold > 0 {
+				s.ColdStreams = cold
+			}
+		}
 	}
 	return s
 }

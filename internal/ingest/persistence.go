@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"streamad/internal/core"
 	"streamad/internal/persist"
 	"streamad/internal/score"
 )
@@ -73,14 +74,16 @@ func (r *Registry) buildStream(id string) (*stream, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	st := newStream(id, det, r.cfg.NewThresholder(id))
+	st := r.newStream(id, det, r.cfg.NewThresholder(id))
 	if r.cfg.Store == nil {
 		return st, nil, nil
 	}
 	var warnings []string
+	hadState := true
 	snap, err := r.cfg.Store.ReadSnapshot(id)
 	if errors.Is(err, os.ErrNotExist) {
 		// No snapshot yet: replay whatever WAL exists from scratch.
+		hadState = false
 		snap = &persist.StreamSnapshot{ID: id}
 	} else if err != nil {
 		return nil, nil, err
@@ -96,10 +99,16 @@ func (r *Registry) buildStream(id string) (*stream, []string, error) {
 		}
 		warnings = append(warnings, fmt.Sprintf("stream %q: %v (replaying the intact prefix)", id, walErr))
 	}
+	if len(recs) > 0 {
+		hadState = true
+	}
 	rejected := replayRecords(st, recs)
 	if rejected > 0 {
 		warnings = append(warnings, fmt.Sprintf(
 			"stream %q: skipped %d WAL record(s) the detector rejected when first observed", id, rejected))
+	}
+	if hadState {
+		r.met.coldToHot.Add(1)
 	}
 	return st, warnings, nil
 }
@@ -266,6 +275,15 @@ func (r *Registry) SnapshotAll() error {
 func (r *Registry) snapshotStream(id string, st *stream) error {
 	st.procMu.Lock()
 	defer st.procMu.Unlock()
+	return r.snapshotLocked(id, st)
+}
+
+// snapshotLocked is snapshotStream's body for callers (the page-out
+// path) that already hold st.procMu.
+func (r *Registry) snapshotLocked(id string, st *stream) error {
+	if p, ok := st.det.(core.Pager); ok && p.Paged() {
+		return nil // demotion already snapshotted; the WAL is empty
+	}
 	snap, err := buildSnapshot(id, st)
 	if err != nil {
 		return err
@@ -330,6 +348,9 @@ func (r *Registry) Snapshot(id string) (*persist.StreamSnapshot, error) {
 	}
 	st.procMu.Lock()
 	defer st.procMu.Unlock()
+	if err := r.ensureResident(st); err != nil {
+		return nil, err
+	}
 	snap, err := buildSnapshot(id, st)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,132 @@
+// Stream tiering: the residency ladder between fully-hot and
+// cold-evicted. A hot stream idle past WarmAfter is demoted to warm —
+// its detector's window state (representation ring, training set, drift
+// reference, scorer windows) is snapshotted, written to the store as a
+// page file and its backing storage freed, while the model stays
+// resident. The next observe pages it back in under the stream's
+// processing lock, bit-identically. Warm streams that stay idle past
+// StreamTTL fall off the ladder entirely via the existing cold eviction
+// (checkpoint + unload), whose restore path never reads page files — a
+// demotion forces a snapshot first, so pages are a discardable cache.
+package ingest
+
+import (
+	"fmt"
+	"time"
+
+	"streamad/internal/core"
+)
+
+// PageIdle demotes every hot, idle, pageable stream whose last observe
+// is older than WarmAfter to the warm tier, and returns how many it
+// demoted. Safe to call concurrently with ingestion: a racing observe
+// simply pages the stream straight back in.
+func (r *Registry) PageIdle(now time.Time) int {
+	if r.cfg.WarmAfter <= 0 || r.cfg.Store == nil {
+		return 0
+	}
+	cutoff := now.Add(-r.cfg.WarmAfter).UnixNano()
+	paged := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		streams := make([]*stream, 0, len(sh.streams))
+		for _, st := range sh.streams {
+			streams = append(streams, st)
+		}
+		sh.mu.Unlock()
+		for _, st := range streams {
+			if st.lastTouch.Load() > cutoff || Tier(st.tier.Load()) != TierHot {
+				continue
+			}
+			if _, ok := st.det.(core.Pager); !ok {
+				continue // not pageable (e.g. cascade); stays hot until cold eviction
+			}
+			st.qmu.Lock()
+			idle := len(st.queue) == 0 && !st.busy && !st.closed
+			st.qmu.Unlock()
+			if !idle {
+				continue
+			}
+			st.procMu.Lock()
+			err := r.pageOutLocked(st)
+			st.procMu.Unlock()
+			if err != nil {
+				r.cfg.Logf("streamad: page out %q: stream stays hot: %v", st.id, err)
+				continue
+			}
+			paged++
+		}
+	}
+	return paged
+}
+
+// pageOutLocked demotes one stream to warm; the caller holds procMu. A
+// dirty WAL is snapshotted first, so the crash-recovery invariant
+// (snapshot at S + WAL from ≤ S) holds with zero WAL entries while the
+// stream is paged — which is also what lets cold eviction skip the
+// (impossible) checkpoint of a hollow detector.
+func (r *Registry) pageOutLocked(st *stream) error {
+	pager := st.det.(core.Pager)
+	if pager.Paged() {
+		return nil
+	}
+	if st.walSince > 0 {
+		if err := r.snapshotLocked(st.id, st); err != nil {
+			return err
+		}
+	}
+	blob, err := pager.PageOut()
+	if err != nil {
+		return err
+	}
+	if err := r.cfg.Store.WritePage(st.id, blob); err != nil {
+		// Could not persist the page: repopulate from the in-memory blob
+		// and stay hot.
+		if rerr := pager.PageIn(blob); rerr != nil {
+			return fmt.Errorf("%w (and page-in rollback failed: %v)", err, rerr)
+		}
+		return err
+	}
+	st.tier.Store(int32(TierWarm))
+	r.met.hotToWarm.Add(1)
+	return nil
+}
+
+// ensureResident pages a warm stream's window state back in before the
+// detector is touched; the caller holds procMu, which is what serializes
+// concurrent observes into a single restore. A missing or damaged page
+// file falls back to the snapshot the demotion wrote.
+func (r *Registry) ensureResident(st *stream) error {
+	pager, ok := st.det.(core.Pager)
+	if !ok || !pager.Paged() {
+		return nil
+	}
+	blob, err := r.cfg.Store.ReadPage(st.id)
+	if err == nil {
+		err = pager.PageIn(blob)
+	}
+	if err != nil {
+		r.cfg.Logf("streamad: page in %q: %v (rebuilding from snapshot)", st.id, err)
+		if err := r.rebuildFromSnapshot(st); err != nil {
+			return err
+		}
+	}
+	if err := r.cfg.Store.RemovePage(st.id); err != nil {
+		r.cfg.Logf("streamad: %v", err)
+	}
+	st.tier.Store(int32(TierHot))
+	r.met.warmToHot.Add(1)
+	return nil
+}
+
+// rebuildFromSnapshot reloads a stream's detector and thresholder from
+// its on-disk snapshot — the page-in fallback. While paged the WAL is
+// empty (the demotion snapshotted and rotated), so the snapshot alone is
+// the complete current state; a full Load also clears the paged flag.
+func (r *Registry) rebuildFromSnapshot(st *stream) error {
+	snap, err := r.cfg.Store.ReadSnapshot(st.id)
+	if err != nil {
+		return err
+	}
+	return LoadSnapshotState(st.det, st.th, snap)
+}

@@ -1,0 +1,281 @@
+package ingest_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"streamad"
+	"streamad/internal/ingest"
+	"streamad/internal/persist"
+)
+
+// newPagerRegistry builds a registry whose streams run real (small)
+// streamad detectors — required by the tiering tests because the stub
+// detectors don't implement core.Pager.
+func newPagerRegistry(t *testing.T, cfg ingest.Config) (*ingest.Registry, *persist.Store) {
+	t.Helper()
+	store, err := persist.Open(filepath.Join(t.TempDir(), "state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	cfg.Store = store
+	if cfg.NewDetector == nil {
+		cfg.NewDetector = func(string) (ingest.Stepper, error) {
+			return streamad.New(pagerDetCfg())
+		}
+	}
+	if cfg.WarmAfter == 0 {
+		cfg.WarmAfter = 50 * time.Millisecond
+	}
+	r, err := ingest.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, store
+}
+
+func pagerDetCfg() streamad.Config {
+	return streamad.Config{
+		Model: streamad.ModelARIMA, Task1: streamad.TaskSlidingWindow,
+		Task2: streamad.TaskMuSigma, Score: streamad.ScoreRaw,
+		Channels: 2, Window: 8, TrainSize: 8, WarmupVectors: 8,
+	}
+}
+
+// TestWarmPageOutBitIdentical: observe, force a warm demotion, observe
+// more; every score must equal the serial reference detector's.
+func TestWarmPageOutBitIdentical(t *testing.T) {
+	r, store := newPagerRegistry(t, ingest.Config{})
+	ref, err := streamad.New(pagerDetCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(i int) {
+		v := vec(3, i)
+		got, err := r.Observe("s", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := ref.Step(v)
+		if got.Ready != wantOK {
+			t.Fatalf("step %d: ready %v, want %v", i, got.Ready, wantOK)
+		}
+		if wantOK && got.Score != want.Score {
+			t.Fatalf("step %d: score %v, want %v (must be bit-identical across paging)", i, got.Score, want.Score)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		step(i)
+	}
+	// Far-future "now" forces the idle check regardless of WarmAfter.
+	if n := r.PageIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("PageIdle demoted %d streams, want 1", n)
+	}
+	st := r.Stats()
+	if st.WarmStreams != 1 || st.HotStreams != 0 || st.HotToWarm != 1 {
+		t.Fatalf("after demotion: hot=%d warm=%d hot→warm=%d", st.HotStreams, st.WarmStreams, st.HotToWarm)
+	}
+	if _, err := store.ReadPage("s"); err != nil {
+		t.Fatalf("no page file after demotion: %v", err)
+	}
+	for i := 40; i < 80; i++ {
+		step(i)
+	}
+	st = r.Stats()
+	if st.WarmStreams != 0 || st.HotStreams != 1 || st.WarmToHot != 1 {
+		t.Fatalf("after promotion: hot=%d warm=%d warm→hot=%d", st.HotStreams, st.WarmStreams, st.WarmToHot)
+	}
+	if _, ok := r.StreamStats("s"); !ok {
+		t.Fatal("stream vanished")
+	}
+}
+
+// TestWarmPageInFallsBackToSnapshot: a damaged page file must not lose
+// the stream — the demotion wrote a snapshot, so page-in rebuilds from it
+// with identical scores.
+func TestWarmPageInFallsBackToSnapshot(t *testing.T) {
+	r, store := newPagerRegistry(t, ingest.Config{Logf: t.Logf})
+	ref, err := streamad.New(pagerDetCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		v := vec(4, i)
+		if _, err := r.Observe("s", v); err != nil {
+			t.Fatal(err)
+		}
+		ref.Step(v)
+	}
+	if n := r.PageIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("PageIdle demoted %d streams, want 1", n)
+	}
+	// Corrupt the page; the snapshot fallback must reproduce the state.
+	if err := store.RemovePage("s"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 60; i++ {
+		v := vec(4, i)
+		got, err := r.Observe("s", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := ref.Step(v)
+		if got.Ready != wantOK || (wantOK && got.Score != want.Score) {
+			t.Fatalf("step %d after snapshot rebuild: got %+v, want %v/%v", i, got, want.Score, wantOK)
+		}
+	}
+}
+
+// TestConcurrentObservesSingleRestore: many goroutines observing a warm
+// stream must trigger exactly one page-in, keep exactly one stream
+// object installed, and stay bit-identical to the serial reference.
+func TestConcurrentObservesSingleRestore(t *testing.T) {
+	r, _ := newPagerRegistry(t, ingest.Config{})
+	ref, err := streamad.New(pagerDetCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		v := vec(5, i)
+		if _, err := r.Observe("s", v); err != nil {
+			t.Fatal(err)
+		}
+		ref.Step(v)
+	}
+	for round := 0; round < 5; round++ {
+		if n := r.PageIdle(time.Now().Add(time.Hour)); n != 1 {
+			t.Fatalf("round %d: PageIdle demoted %d, want 1", round, n)
+		}
+		const burst = 16
+		base := 40 + round*burst
+		results := make([]ingest.Result, burst)
+		vecs := make([][]float64, burst) // indexed by assigned seq - base
+		var wg sync.WaitGroup
+		for j := 0; j < burst; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				v := vec(5, base+j)
+				res, err := r.Observe("s", v)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[res.Seq-uint64(base)] = res
+				vecs[res.Seq-uint64(base)] = v
+			}(j)
+		}
+		wg.Wait()
+		// Concurrent admissions take sequence numbers in arrival order;
+		// the dispatcher then scores in that order, so the reference
+		// replays the vectors by assigned seq.
+		for j := 0; j < burst; j++ {
+			want, wantOK := ref.Step(vecs[j])
+			got := results[j]
+			if got.Ready != wantOK || (wantOK && got.Score != want.Score) {
+				t.Fatalf("round %d seq %d: got %+v, want %v/%v", round, base+j, got, want.Score, wantOK)
+			}
+		}
+		st := r.Stats()
+		if st.WarmToHot != uint64(round+1) {
+			t.Fatalf("round %d: warm→hot = %d, want exactly %d (single restore per burst)", round, st.WarmToHot, round+1)
+		}
+		if st.Streams != 1 {
+			t.Fatalf("round %d: %d streams installed, want 1", round, st.Streams)
+		}
+	}
+}
+
+// TestEvictRestoreGoroutineStable: repeated evict→restore cycles must
+// not leak goroutines — eviction closes the detector (draining trainer
+// work), and the pooled dispatcher spawns nothing per stream.
+func TestEvictRestoreGoroutineStable(t *testing.T) {
+	cfg := pagerDetCfg()
+	cfg.AsyncFineTune = true // exercise the trainer shutdown path too
+	r, _ := newPagerRegistry(t, ingest.Config{
+		StreamTTL: time.Hour, // manual eviction below
+		NewDetector: func(string) (ingest.Stepper, error) {
+			return streamad.New(cfg)
+		},
+	})
+	warm := func(id string, n, off int) {
+		for i := 0; i < n; i++ {
+			if _, err := r.Observe(id, vec(6, off+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm("a", 30, 0)
+	warm("b", 30, 0)
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 20; cycle++ {
+		if n := r.EvictIdle(time.Now().Add(2 * time.Hour)); n != 2 {
+			t.Fatalf("cycle %d: evicted %d streams, want 2", cycle, n)
+		}
+		warm("a", 3, 30+3*cycle)
+		warm("b", 3, 30+3*cycle)
+	}
+	runtime.GC()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew %d → %d across 20 evict/restore cycles", before, after)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := r.Stats()
+	if st.EvictedTotal != 40 || st.ColdToHot != 40 {
+		t.Fatalf("evicted=%d cold→hot=%d, want 40/40", st.EvictedTotal, st.ColdToHot)
+	}
+}
+
+// TestWarmStreamColdEviction: a warm stream idle past the TTL falls off
+// the ladder entirely, and the next observe restores it from snapshot.
+func TestWarmStreamColdEviction(t *testing.T) {
+	r, store := newPagerRegistry(t, ingest.Config{StreamTTL: time.Hour})
+	ref, err := streamad.New(pagerDetCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		v := vec(7, i)
+		if _, err := r.Observe("s", v); err != nil {
+			t.Fatal(err)
+		}
+		ref.Step(v)
+	}
+	if n := r.PageIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatal("demotion failed")
+	}
+	if n := r.EvictIdle(time.Now().Add(2 * time.Hour)); n != 1 {
+		t.Fatal("cold eviction failed")
+	}
+	st := r.Stats()
+	if st.Streams != 0 || st.WarmToCold != 1 || st.ColdStreams != 1 {
+		t.Fatalf("after cold eviction: streams=%d warm→cold=%d cold=%d", st.Streams, st.WarmToCold, st.ColdStreams)
+	}
+	if _, err := store.ReadPage("s"); err == nil {
+		t.Fatal("page file survived cold eviction")
+	}
+	for i := 40; i < 60; i++ {
+		v := vec(7, i)
+		got, err := r.Observe("s", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := ref.Step(v)
+		if got.Ready != wantOK || (wantOK && got.Score != want.Score) {
+			t.Fatalf("step %d after cold restore: got %+v, want %v/%v", i, got, want.Score, wantOK)
+		}
+	}
+}

@@ -17,3 +17,46 @@ func (s *server) startManaged() {
 }
 
 func (s *server) loop() { <-s.done }
+
+// pool mimics the bounded worker-pool idiom: the constructor is the
+// lifecycle owner of a fixed worker set, and task submission must queue
+// onto those workers rather than spawn.
+type pool struct {
+	queue chan func()
+}
+
+// newPool starts the fixed worker set; Close (not shown) joins them by
+// closing the queue.
+//
+//streamad:lifecycle — owns the worker goroutines.
+func newPool(workers int) *pool {
+	p := &pool{queue: make(chan func(), 64)}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	for fn := range p.queue {
+		fn()
+	}
+}
+
+// submit queues the task for the fixed workers — no new goroutine, so no
+// lifecycle marker needed.
+func (p *pool) submit(fn func()) {
+	p.queue <- fn
+}
+
+// submitOwned is the per-task-goroutine anti-pattern the pools replace:
+// nothing joins fn, so at fleet scale this is goroutines O(tasks).
+func (p *pool) submitOwned(fn func()) {
+	go fn() // want `goroutine launched outside a //streamad:lifecycle helper`
+}
+
+var (
+	_ = newPool
+	_ = (*pool)(nil).submit
+	_ = (*pool)(nil).submitOwned
+)

@@ -53,4 +53,50 @@ func (l *leaky) acquire() {
 	l.mu.Lock() // want `mutex locked here but never unlocked in this function`
 }
 
-var _ = (*counter)(nil).incr
+// trainJob mimics the trainer pool's claimable-job idiom: state moves
+// through CAS only, so any plain read races the claimants.
+type trainJob struct {
+	state int32
+}
+
+func (j *trainJob) claim() bool {
+	return atomic.CompareAndSwapInt32(&j.state, 0, 1)
+}
+
+func (j *trainJob) claimed() bool {
+	return j.state != 0 // want `state is accessed with sync/atomic elsewhere`
+}
+
+// dispatcher mimics the pooled ingest dispatcher: a batch must be scored
+// after the membership lookup releases the shard, never under it.
+type dispatcher struct {
+	//streamad:membership — guards the streams map only.
+	mu      sync.Mutex
+	streams map[string]detector
+}
+
+func (d *dispatcher) dispatchLocked(id string, batch [][]float64) {
+	d.mu.Lock()
+	det := d.streams[id]
+	for _, v := range batch {
+		det.Step(v) // want `Step called while holding membership mutex`
+	}
+	d.mu.Unlock()
+}
+
+func (d *dispatcher) dispatch(id string, batch [][]float64) {
+	d.mu.Lock()
+	det := d.streams[id]
+	d.mu.Unlock()
+	for _, v := range batch {
+		det.Step(v)
+	}
+}
+
+var (
+	_ = (*counter)(nil).incr
+	_ = (*trainJob)(nil).claim
+	_ = (*trainJob)(nil).claimed
+	_ = (*dispatcher)(nil).dispatch
+	_ = (*dispatcher)(nil).dispatchLocked
+)

@@ -1,0 +1,97 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Page files hold the warm tier's paged-out window state: a detector's
+// PageOut blob, written when the tiering policy demotes a stream from hot
+// to warm and read back on the next observe. They are a cache, not the
+// durability story — a warm demotion writes a full snapshot first, so a
+// page file can always be discarded and the stream rebuilt from snapshot
+// + WAL. IDs() deliberately ignores them for the same reason.
+//
+//	<escaped-id>.page — magic, version, size, CRC-32C, payload
+
+const (
+	pageMagic  = "SADPAGE1"
+	pageSuffix = ".page"
+)
+
+func (s *Store) pagePath(id string) string { return filepath.Join(s.dir, escapeID(id)+pageSuffix) }
+
+// WritePage atomically persists a stream's paged-out window state
+// (temp file + rename; no fsync — page files are reconstructible).
+func (s *Store) WritePage(id string, blob []byte) error {
+	final := s.pagePath(id)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: create page temp: %w", err)
+	}
+	var hdr [len(pageMagic) + 16]byte
+	copy(hdr[:], pageMagic)
+	binary.LittleEndian.PutUint32(hdr[len(pageMagic):], Version)
+	binary.LittleEndian.PutUint64(hdr[len(pageMagic)+4:], uint64(len(blob)))
+	binary.LittleEndian.PutUint32(hdr[len(pageMagic)+12:], crc32.Checksum(blob, castagnoli))
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(blob)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: write page: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: close page: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publish page: %w", err)
+	}
+	return nil
+}
+
+// ReadPage loads and verifies a stream's page file. A missing file
+// returns os.ErrNotExist (callers fall back to snapshot + WAL restore).
+func (s *Store) ReadPage(id string) ([]byte, error) {
+	raw, err := os.ReadFile(s.pagePath(id))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(pageMagic)+16 {
+		return nil, fmt.Errorf("persist: page %q truncated (%d bytes)", id, len(raw))
+	}
+	if string(raw[:len(pageMagic)]) != pageMagic {
+		return nil, fmt.Errorf("persist: page %q has wrong magic", id)
+	}
+	hdr := raw[len(pageMagic):]
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != Version {
+		return nil, fmt.Errorf("persist: page %q version %d, this build reads %d", id, v, Version)
+	}
+	size := binary.LittleEndian.Uint64(hdr[4:12])
+	sum := binary.LittleEndian.Uint32(hdr[12:16])
+	body := hdr[16:]
+	if uint64(len(body)) != size {
+		return nil, fmt.Errorf("persist: page %q truncated: header says %d payload bytes, file has %d",
+			id, size, len(body))
+	}
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, fmt.Errorf("persist: page %q failed CRC check", id)
+	}
+	return body, nil
+}
+
+// RemovePage deletes a stream's page file; missing is not an error.
+func (s *Store) RemovePage(id string) error {
+	if err := os.Remove(s.pagePath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("persist: remove page: %w", err)
+	}
+	return nil
+}

@@ -420,7 +420,7 @@ func (s *Store) Remove(id string) error {
 	}
 	s.mu.Unlock()
 	var first error
-	for _, p := range []string{s.snapPath(id), s.walPath(id)} {
+	for _, p := range []string{s.snapPath(id), s.walPath(id), s.pagePath(id)} {
 		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && first == nil {
 			first = err
 		}

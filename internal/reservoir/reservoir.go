@@ -73,12 +73,28 @@ func NewSlidingWindow(m, dim int) *SlidingWindow {
 	if m <= 0 || dim <= 0 {
 		panic("reservoir: m and dim must be positive")
 	}
-	backing := make([]float64, m*dim)
-	items := make([][]float64, m)
-	for i := range items {
-		items[i] = backing[i*dim : (i+1)*dim]
+	s := &SlidingWindow{m: m, dim: dim}
+	s.alloc()
+	return s
+}
+
+// alloc (re)creates the contiguous backing storage.
+func (s *SlidingWindow) alloc() {
+	backing := make([]float64, s.m*s.dim)
+	s.items = make([][]float64, s.m)
+	for i := range s.items {
+		s.items[i] = backing[i*s.dim : (i+1)*s.dim]
 	}
-	return &SlidingWindow{m: m, dim: dim, items: items, evict: make([]float64, dim)}
+	s.evict = make([]float64, s.dim)
+}
+
+// Release empties the window and frees its backing storage for warm-tier
+// paging; UnmarshalBinary reallocates on restore.
+func (s *SlidingWindow) Release() {
+	s.items = nil
+	s.evict = nil
+	s.head = 0
+	s.count = 0
 }
 
 // Observe implements TrainingSet.
@@ -129,12 +145,28 @@ func NewUniformReservoir(m, dim int, rng *rand.Rand) *UniformReservoir {
 	if m <= 0 || dim <= 0 {
 		panic("reservoir: m and dim must be positive")
 	}
-	backing := make([]float64, m*dim)
-	items := make([][]float64, m)
-	for i := range items {
-		items[i] = backing[i*dim : (i+1)*dim]
+	u := &UniformReservoir{m: m, dim: dim, rng: rng}
+	u.alloc()
+	return u
+}
+
+// alloc (re)creates the contiguous backing storage.
+func (u *UniformReservoir) alloc() {
+	backing := make([]float64, u.m*u.dim)
+	u.items = make([][]float64, u.m)
+	for i := range u.items {
+		u.items[i] = backing[i*u.dim : (i+1)*u.dim]
 	}
-	return &UniformReservoir{m: m, dim: dim, items: items, rng: rng, evict: make([]float64, dim)}
+	u.evict = make([]float64, u.dim)
+}
+
+// Release empties the reservoir contents and frees the backing storage for
+// warm-tier paging; the observation clock t is untouched (it is snapshot
+// state, restored by UnmarshalBinary).
+func (u *UniformReservoir) Release() {
+	u.items = nil
+	u.evict = nil
+	u.count = 0
 }
 
 // Observe implements TrainingSet.
@@ -267,6 +299,13 @@ func (a *AnomalyAwareReservoir) Len() int { return a.h.Len() }
 
 // Cap implements TrainingSet.
 func (a *AnomalyAwareReservoir) Cap() int { return a.m }
+
+// Release frees the heap entries and eviction scratch for warm-tier
+// paging; UnmarshalBinary rebuilds both on restore.
+func (a *AnomalyAwareReservoir) Release() {
+	a.h.entries = nil
+	a.evict = nil
+}
 
 // MinPriority returns the lowest priority currently held, or +Inf when the
 // reservoir is empty. Exposed for tests and ablations.

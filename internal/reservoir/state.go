@@ -46,6 +46,9 @@ func (s *SlidingWindow) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("reservoir: sliding-window snapshot length %d inconsistent with m=%d dim=%d",
 			len(st.Flat), st.M, st.Dim)
 	}
+	if s.items == nil {
+		s.alloc() // paged out by Release; restore reallocates
+	}
 	n := len(st.Flat) / st.Dim
 	s.head = 0
 	s.count = n
@@ -91,6 +94,9 @@ func (u *UniformReservoir) UnmarshalBinary(data []byte) error {
 	if st.Dim <= 0 || len(st.Flat)%st.Dim != 0 || len(st.Flat) > st.M*st.Dim {
 		return fmt.Errorf("reservoir: uniform snapshot length %d inconsistent with m=%d dim=%d",
 			len(st.Flat), st.M, st.Dim)
+	}
+	if u.items == nil {
+		u.alloc() // paged out by Release; restore reallocates
 	}
 	n := len(st.Flat) / st.Dim
 	u.count = n
@@ -147,5 +153,8 @@ func (a *AnomalyAwareReservoir) UnmarshalBinary(data []byte) error {
 		entries[i] = priorityEntry{p: st.Priorities[i], vec: v}
 	}
 	a.h.entries = entries
+	if a.evict == nil {
+		a.evict = make([]float64, a.dim) // paged out by Release
+	}
 	return nil
 }

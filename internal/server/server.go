@@ -39,6 +39,7 @@ import (
 	"streamad/internal/ensemble"
 	"streamad/internal/ingest"
 	"streamad/internal/persist"
+	"streamad/internal/pool"
 	"streamad/internal/score"
 )
 
@@ -73,6 +74,23 @@ type Config struct {
 	// StreamTTL, when positive, checkpoints and unloads streams with no
 	// observes for the TTL (see ingest.Config.StreamTTL).
 	StreamTTL time.Duration
+	// WarmAfter, when positive with a Store, demotes streams idle past
+	// this duration to the warm tier: the model stays resident while
+	// window state is paged to the snapshot store until the next observe
+	// (see ingest.Config.WarmAfter). Must be below StreamTTL when both
+	// are set.
+	WarmAfter time.Duration
+	// ScorePool, when set, is the shared bounded worker pool dispatcher
+	// hops run on; the registry otherwise creates its own (GOMAXPROCS
+	// workers). Share one pool between the registry and ensemble
+	// detectors to keep goroutine count O(workers) for the whole process.
+	// The caller keeps ownership: close it after the server.
+	ScorePool *pool.Pool
+	// TrainerPool, when set, is surfaced in /metrics as the
+	// streamad_pool_train_* families. The pool itself is wired into
+	// detectors by the NewDetector factory (see streamad.Config); the
+	// server only reports it. The caller keeps ownership.
+	TrainerPool *pool.Trainer
 	// Store, when set, makes the server durable: every observed vector is
 	// appended to the stream's WAL before it is scored, snapshots are taken
 	// in the background, and RestoreStreams rebuilds state on startup.
@@ -95,10 +113,11 @@ type Config struct {
 
 // Server is an http.Handler serving the scoring API.
 type Server struct {
-	reg    *ingest.Registry
-	mux    *http.ServeMux
-	obsLat latencyHist // streamad_ingest_observe_seconds
-	node   *cluster.Node
+	reg     *ingest.Registry
+	mux     *http.ServeMux
+	obsLat  latencyHist // streamad_ingest_observe_seconds
+	node    *cluster.Node
+	trainer *pool.Trainer // reported in /metrics; owned by the caller
 }
 
 // New validates the configuration and returns a Server.
@@ -115,6 +134,8 @@ func New(cfg Config) (*Server, error) {
 		RetryAfter:       cfg.RetryAfter,
 		MaxStreams:       cfg.MaxStreams,
 		StreamTTL:        cfg.StreamTTL,
+		WarmAfter:        cfg.WarmAfter,
+		ScorePool:        cfg.ScorePool,
 		Store:            cfg.Store,
 		SnapshotInterval: cfg.SnapshotInterval,
 		SnapshotEvery:    cfg.SnapshotEvery,
@@ -123,7 +144,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), trainer: cfg.TrainerPool}
 	if cfg.Cluster != nil && len(cfg.Cluster.Peers) > 0 {
 		ccfg := *cfg.Cluster
 		if ccfg.NewDetector == nil {
@@ -247,6 +268,7 @@ type StatsResponse struct {
 	Steps     int             `json:"steps"`
 	Ready     int             `json:"ready_steps"`
 	Alerts    int             `json:"alerts"`
+	Tier      string          `json:"tier,omitempty"`
 	Queued    int             `json:"queued,omitempty"`
 	Threshold float64         `json:"threshold,omitempty"`
 	Members   []MemberStatus  `json:"members,omitempty"`
@@ -417,6 +439,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, id string) 
 	}
 	resp := StatsResponse{
 		ID: id, Steps: info.Steps, Ready: info.Ready, Alerts: info.Alerts,
+		Tier:      info.Tier,
 		Queued:    info.QueueLen,
 		Threshold: finiteOrZero(info.Threshold),
 	}
@@ -921,7 +944,62 @@ func (s *Server) writeIngestMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "streamad_ingest_batch_size_bucket{le=\"+Inf\"} %d\n", st.Batches)
 	fmt.Fprintf(w, "streamad_ingest_batch_size_sum %d\n", st.BatchSizeSum)
 	fmt.Fprintf(w, "streamad_ingest_batch_size_count %d\n", st.Batches)
+	writeTierMetrics(w, st)
+	writePoolMetrics(w, st.ScorePool, s.trainer)
 	s.obsLat.write(w)
+}
+
+// writeTierMetrics renders the streamad_tier_* families: the residency
+// ladder's instantaneous occupancy and its transition counters.
+func writeTierMetrics(w http.ResponseWriter, st ingest.Stats) {
+	fmt.Fprintln(w, "# HELP streamad_tier_streams Streams per residency tier (hot+warm resident, cold checkpointed on disk).")
+	fmt.Fprintln(w, "# TYPE streamad_tier_streams gauge")
+	fmt.Fprintf(w, "streamad_tier_streams{tier=\"hot\"} %d\n", st.HotStreams)
+	fmt.Fprintf(w, "streamad_tier_streams{tier=\"warm\"} %d\n", st.WarmStreams)
+	fmt.Fprintf(w, "streamad_tier_streams{tier=\"cold\"} %d\n", st.ColdStreams)
+	fmt.Fprintln(w, "# HELP streamad_tier_transitions_total Stream moves along the residency ladder.")
+	fmt.Fprintln(w, "# TYPE streamad_tier_transitions_total counter")
+	fmt.Fprintf(w, "streamad_tier_transitions_total{from=\"hot\",to=\"warm\"} %d\n", st.HotToWarm)
+	fmt.Fprintf(w, "streamad_tier_transitions_total{from=\"warm\",to=\"hot\"} %d\n", st.WarmToHot)
+	fmt.Fprintf(w, "streamad_tier_transitions_total{from=\"warm\",to=\"cold\"} %d\n", st.WarmToCold)
+	fmt.Fprintf(w, "streamad_tier_transitions_total{from=\"hot\",to=\"cold\"} %d\n", st.HotToCold)
+	fmt.Fprintf(w, "streamad_tier_transitions_total{from=\"cold\",to=\"hot\"} %d\n", st.ColdToHot)
+}
+
+// writePoolMetrics renders the streamad_pool_* families for the shared
+// scoring pool and (when the server was handed one) the trainer pool.
+func writePoolMetrics(w http.ResponseWriter, sp pool.Stats, tr *pool.Trainer) {
+	fmt.Fprintln(w, "# HELP streamad_pool_score_workers Scoring pool worker goroutines.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_score_workers gauge")
+	fmt.Fprintf(w, "streamad_pool_score_workers %d\n", sp.Workers)
+	fmt.Fprintln(w, "# HELP streamad_pool_score_queue_depth Tasks waiting for a scoring worker.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_score_queue_depth gauge")
+	fmt.Fprintf(w, "streamad_pool_score_queue_depth %d\n", sp.Queued)
+	fmt.Fprintln(w, "# HELP streamad_pool_score_running Scoring tasks currently executing.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_score_running gauge")
+	fmt.Fprintf(w, "streamad_pool_score_running %d\n", sp.Running)
+	fmt.Fprintln(w, "# HELP streamad_pool_score_tasks_total Scoring tasks completed.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_score_tasks_total counter")
+	fmt.Fprintf(w, "streamad_pool_score_tasks_total %d\n", sp.Completed)
+	if tr == nil {
+		return
+	}
+	ts := tr.Stats()
+	fmt.Fprintln(w, "# HELP streamad_pool_train_slots Concurrent training slots.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_train_slots gauge")
+	fmt.Fprintf(w, "streamad_pool_train_slots %d\n", ts.Slots)
+	fmt.Fprintln(w, "# HELP streamad_pool_train_queue_depth Fine-tunes waiting for a training slot.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_train_queue_depth gauge")
+	fmt.Fprintf(w, "streamad_pool_train_queue_depth %d\n", ts.Queued)
+	fmt.Fprintln(w, "# HELP streamad_pool_train_running Fine-tunes currently training.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_train_running gauge")
+	fmt.Fprintf(w, "streamad_pool_train_running %d\n", ts.Running)
+	fmt.Fprintln(w, "# HELP streamad_pool_train_total Fine-tunes completed through the trainer pool.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_train_total counter")
+	fmt.Fprintf(w, "streamad_pool_train_total %d\n", ts.Completed)
+	fmt.Fprintln(w, "# HELP streamad_pool_train_canceled_total Queued fine-tunes canceled before a slot ran them.")
+	fmt.Fprintln(w, "# TYPE streamad_pool_train_canceled_total counter")
+	fmt.Fprintf(w, "streamad_pool_train_canceled_total %d\n", ts.Canceled)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -376,8 +376,10 @@ func TestMetricsExposition(t *testing.T) {
 		if !helps[family] || !types[family] {
 			t.Errorf("sample %q precedes its HELP/TYPE pair", line)
 		}
-		if strings.HasPrefix(name, "streamad_ingest_") {
-			continue // ingestion-layer families carry no stream label
+		if strings.HasPrefix(name, "streamad_ingest_") ||
+			strings.HasPrefix(name, "streamad_tier_") ||
+			strings.HasPrefix(name, "streamad_pool_") {
+			continue // process-level families carry no stream label
 		}
 		stream, ok := labels["stream"]
 		if !ok {

@@ -75,6 +75,9 @@ func (r *VecRing) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("window: vec ring snapshot length %d inconsistent with cap=%d dim=%d",
 			len(st.Flat), st.Cap, st.Dim)
 	}
+	if r.buf == nil {
+		r.alloc() // paged out by Release; restore reallocates
+	}
 	r.Reset()
 	for i := 0; i < len(st.Flat)/st.Dim; i++ {
 		r.Push(st.Flat[i*st.Dim : (i+1)*st.Dim])

@@ -92,11 +92,12 @@ func (r *Ring) Reset() {
 // Pushed vectors are copied into internal storage, so callers may reuse
 // their input slices.
 type VecRing struct {
-	dim   int
-	buf   [][]float64
-	head  int
-	count int
-	evict []float64 // reusable eviction-copy scratch
+	dim      int
+	capacity int // fixed logical capacity; survives Release
+	buf      [][]float64
+	head     int
+	count    int
+	evict    []float64 // reusable eviction-copy scratch
 }
 
 // NewVecRing returns a ring holding up to capacity vectors of length dim.
@@ -104,25 +105,46 @@ func NewVecRing(capacity, dim int) *VecRing {
 	if capacity <= 0 || dim <= 0 {
 		panic("window: capacity and dim must be positive")
 	}
-	buf := make([][]float64, capacity)
-	backing := make([]float64, capacity*dim)
-	for i := range buf {
-		buf[i] = backing[i*dim : (i+1)*dim]
-	}
-	return &VecRing{dim: dim, buf: buf}
+	r := &VecRing{dim: dim, capacity: capacity}
+	r.alloc()
+	return r
 }
+
+// alloc (re)creates the backing storage at the fixed capacity.
+func (r *VecRing) alloc() {
+	buf := make([][]float64, r.capacity)
+	backing := make([]float64, r.capacity*r.dim)
+	for i := range buf {
+		buf[i] = backing[i*r.dim : (i+1)*r.dim]
+	}
+	r.buf = buf
+}
+
+// Release empties the ring and frees its backing storage (the dominant
+// per-stream memory for warm-tier paging). The capacity is remembered:
+// UnmarshalBinary reallocates on restore. Push/At on a released ring
+// panic — callers must page back in first.
+func (r *VecRing) Release() {
+	r.buf = nil
+	r.evict = nil
+	r.head = 0
+	r.count = 0
+}
+
+// Released reports whether the backing storage has been freed.
+func (r *VecRing) Released() bool { return r.buf == nil }
 
 // Dim returns the vector length.
 func (r *VecRing) Dim() int { return r.dim }
 
 // Cap returns the fixed capacity.
-func (r *VecRing) Cap() int { return len(r.buf) }
+func (r *VecRing) Cap() int { return r.capacity }
 
 // Len returns the number of stored vectors.
 func (r *VecRing) Len() int { return r.count }
 
 // Full reports whether the ring is at capacity.
-func (r *VecRing) Full() bool { return r.count == len(r.buf) }
+func (r *VecRing) Full() bool { return r.count == r.capacity }
 
 // Push appends a copy of x, evicting the oldest vector when full. The
 // returned evicted slice aliases internal storage and is only valid until
@@ -132,6 +154,9 @@ func (r *VecRing) Full() bool { return r.count == len(r.buf) }
 func (r *VecRing) Push(x []float64) (evicted []float64, wasFull bool) {
 	if len(x) != r.dim {
 		panic("window: vector dimension mismatch")
+	}
+	if r.buf == nil {
+		panic("window: push on released ring")
 	}
 	if r.count < len(r.buf) {
 		copy(r.buf[(r.head+r.count)%len(r.buf)], x)

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# scale_smoke.sh — boot a live streamadd with the hot/warm/cold residency
+# ladder enabled, register a 2k-stream fleet, then drive only a 1% hot
+# subset and prove residency collapses to the working set:
+#
+#   - both load phases must pass zero-5xx / zero-error SLOs (sheds are
+#     429-style and the block policy makes them impossible here);
+#   - after the hot phase, /metrics must show resident (hot+warm)
+#     streams at or below CEILING while the idle fleet sits cold;
+#   - the tier gauge families must actually be exported.
+#
+# The server runs on a loopback port with a temp state dir; both are
+# removed on exit. Exit 0 all gates met, 1 gate violation, 2 harness
+# error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${SCALE_ADDR:-127.0.0.1:18423}"
+FLEET="${SCALE_FLEET:-2000}"
+HOT="${SCALE_HOT:-20}"
+CEILING="${SCALE_CEILING:-200}"
+
+command -v curl >/dev/null 2>&1 || { echo "scale_smoke.sh: curl is required" >&2; exit 2; }
+
+BIN="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill "$SRV_PID" 2>/dev/null || true
+        wait "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/streamadd" ./cmd/streamadd
+go build -o "$BIN/streamload" ./cmd/streamload
+
+# Small kNN pipeline so 2k fresh streams register quickly. The ladder is
+# tuned for the smoke's timescale: idle 500ms pages a stream's window
+# state out (warm), idle 3s checkpoints and unloads it entirely (cold).
+# -max-streams must clear the whole fleet: this smoke proves residency
+# falls because of tiering, not because admission capped it.
+"$BIN/streamadd" -addr "$ADDR" -channels 4 -model knn -w 8 -m 32 -seed 1 \
+    -state-dir "$BIN/state" -shards 64 -max-streams $((FLEET + 100)) \
+    -tier-warm-after 500ms -stream-ttl 3s \
+    >"$BIN/streamadd.log" 2>&1 &
+SRV_PID=$!
+
+ready=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "scale_smoke.sh: streamadd exited during startup:" >&2
+        cat "$BIN/streamadd.log" >&2
+        exit 2
+    fi
+    sleep 0.1
+done
+if [ -z "$ready" ]; then
+    echo "scale_smoke.sh: streamadd never became healthy on $ADDR" >&2
+    cat "$BIN/streamadd.log" >&2
+    exit 2
+fi
+
+# Phase 1: register the fleet — two vectors per stream, every stream
+# lands resident. streamload names streams soak-0..soak-N, so the hot
+# subset below is a strict subset of this fleet.
+"$BIN/streamload" -addr "http://$ADDR" \
+    -streams "$FLEET" -vectors 2 -rate 100 -batch 32 -warmup 1 -seed 1 \
+    -slo-error-rate 0 -slo-5xx 0 \
+    -out "$BIN/register.json"
+
+# Phase 2: steady state — only the hot subset sees traffic, long enough
+# for the idle fleet to age past warm-after and then the TTL.
+"$BIN/streamload" -addr "http://$ADDR" \
+    -streams "$HOT" -vectors 400 -rate 100 -batch 16 -warmup 64 -seed 1 \
+    -slo-error-rate 0 -slo-5xx 0 \
+    -out "$BIN/steady.json"
+
+# Gate: poll /metrics until resident (hot+warm) streams fall to the
+# ceiling. Demotion and eviction are background sweeps, so give them a
+# bounded settle window; residency only shrinks once traffic stops.
+deadline=$((SECONDS + 30))
+while :; do
+    if curl -fsS "http://$ADDR/metrics" | awk -v ceiling="$CEILING" '
+        /^streamad_tier_streams\{tier="hot"\}/  { hot = $2; seen++ }
+        /^streamad_tier_streams\{tier="warm"\}/ { warm = $2; seen++ }
+        /^streamad_tier_streams\{tier="cold"\}/ { cold = $2; seen++ }
+        END {
+            if (seen != 3) { print "scale_smoke.sh: streamad_tier_streams families missing from /metrics" > "/dev/stderr"; exit 2 }
+            resident = hot + warm
+            printf "scale_smoke.sh: resident=%d (hot=%d warm=%d) cold=%d ceiling=%d\n", resident, hot, warm, cold, ceiling > "/dev/stderr"
+            exit resident <= ceiling ? 0 : 1
+        }'; then
+        break
+    fi
+    if [ "$SECONDS" -ge "$deadline" ]; then
+        echo "scale_smoke.sh: resident streams never fell to the ceiling ($CEILING) within the settle window" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+echo "scale_smoke.sh: PASS — $FLEET registered, $HOT hot, resident held under $CEILING with zero non-429 5xx" >&2

@@ -16,6 +16,11 @@
 #                           # sheds must be reported inline (zero 5xx,
 #                           # zero errors) and /metrics must show a
 #                           # non-zero shed counter
+#   scripts/soak.sh drop    # CI gate: the same overdrive against the
+#                           # drop-oldest policy; drops must surface as
+#                           # inline dropped results (zero 5xx, zero
+#                           # errors, zero sheds) and /metrics must show
+#                           # a non-zero dropped counter
 #
 # The server runs a real streamadd (arima, 4 channels, block overload
 # policy) on a loopback port; it is killed on exit. streamload's exit
@@ -61,6 +66,8 @@ elif [ "$MODE" = shed ]; then
     # the shed policy actually engages; the gates then prove sheds stay
     # inline 429-style results instead of surfacing as 5xx or errors.
     SPEC_ARGS=(-model knn -queue-depth 4 -overload shed)
+elif [ "$MODE" = drop ]; then
+    SPEC_ARGS=(-model knn -queue-depth 4 -overload drop-oldest)
 fi
 "$BIN/streamadd" -addr "$ADDR" -channels 4 "${SPEC_ARGS[@]}" -w 8 -m 32 -seed 1 \
     -alert-quantile 0.98 >"$BIN/streamadd.log" 2>&1 &
@@ -135,8 +142,28 @@ shed)
             exit bad
         }' >&2
     ;;
+drop)
+    # Overdrive against drop-oldest: the newest vector always gets in by
+    # discarding the oldest queued one. Unlike shed, nothing bounces back
+    # to the producer — a drop surfaces as an inline dropped result on
+    # the vector that was displaced — so sheds must be exactly zero while
+    # the dropped counter moves.
+    "$BIN/streamload" -addr "http://$ADDR" \
+        -streams 32 -rate 400 -batch 32 -vectors 320 -warmup 64 -seed 1 \
+        -slo-p99 750ms -slo-shed-rate 0 -slo-error-rate 0 -slo-5xx 0 \
+        -out "$BIN/BENCH_soak.json"
+    # The SLOs passed; now assert the overload policy actually engaged.
+    curl -fsS "http://$ADDR/metrics" | awk '
+        /^streamad_ingest_dropped_total\{/ {
+            n++; if ($2 + 0 == 0) { print "soak.sh: " $0 " — drop-oldest policy never engaged"; bad = 1 }
+        }
+        END {
+            if (n == 0) { print "soak.sh: no streamad_ingest_dropped_total series in /metrics"; bad = 1 }
+            exit bad
+        }' >&2
+    ;;
 *)
-    echo "usage: scripts/soak.sh [smoke|full|cascade|shed]" >&2
+    echo "usage: scripts/soak.sh [smoke|full|cascade|shed|drop]" >&2
     exit 2
     ;;
 esac

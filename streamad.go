@@ -35,6 +35,7 @@ import (
 	"streamad/internal/iforest"
 	"streamad/internal/knn"
 	"streamad/internal/nbeats"
+	"streamad/internal/pool"
 	"streamad/internal/randstate"
 	"streamad/internal/reservoir"
 	"streamad/internal/score"
@@ -234,6 +235,19 @@ type Config struct {
 	// others silently stay synchronous. Off by default — synchronous
 	// fine-tuning is bit-for-bit deterministic.
 	AsyncFineTune bool
+	// TrainerPool routes asynchronous fine-tunes through a shared
+	// K-slot trainer pool instead of a per-detector goroutine: the
+	// fine-tune queues, and its model/training-set snapshot is taken
+	// lazily when a slot dequeues it. TrainerKey is the pool's fairness
+	// key — detectors sharing a key (e.g. members of one stream's
+	// ensemble) compete as one principal, and the least-recently-served
+	// key trains first. Requires AsyncFineTune; ignored without it.
+	TrainerPool *TrainerPool
+	TrainerKey  string
+	// ScorePool steps ensemble members as tasks on a shared bounded
+	// worker pool instead of sequentially in the caller. Only ensembles
+	// use it (see NewEnsemble); single-pipeline detectors ignore it.
+	ScorePool *ScorePool
 	// Seed drives every random component (default 1).
 	Seed int64
 	// LR overrides the model learning rate (0 = model default).
@@ -304,6 +318,23 @@ func (c *Config) fillDefaults() error {
 	}
 	return nil
 }
+
+// ScorePool re-exports the shared bounded worker pool ensembles and the
+// ingestion layer schedule scoring work on. One pool serves any number
+// of detectors; goroutine count stays O(workers), not O(streams).
+type ScorePool = pool.Pool
+
+// TrainerPool re-exports the shared K-slot training pool with
+// cross-stream fairness; see Config.TrainerPool.
+type TrainerPool = pool.Trainer
+
+// NewScoringPool builds a shared scoring pool; workers <= 0 selects
+// GOMAXPROCS. Close it after every detector using it has stopped.
+func NewScoringPool(workers int) *ScorePool { return pool.NewScoring(workers) }
+
+// NewTrainerPool builds a shared trainer pool with the given number of
+// concurrent training slots; slots <= 0 selects 2.
+func NewTrainerPool(slots int) *TrainerPool { return pool.NewTrainer(slots) }
 
 // Detector is a fully assembled streaming anomaly detector.
 type Detector struct {
@@ -385,7 +416,7 @@ func New(cfg Config) (*Detector, error) {
 		measure = score.Cosine{}
 	}
 
-	inner, err := core.NewDetector(core.Config{
+	ccfg := core.Config{
 		Representer:   core.NewRepresenter(cfg.Window, cfg.Channels),
 		Model:         model,
 		TrainingSet:   set,
@@ -398,7 +429,14 @@ func New(cfg Config) (*Detector, error) {
 		Sanitize:      cfg.Sanitize,
 		Attribution:   cfg.Attribution,
 		AsyncFineTune: cfg.AsyncFineTune,
-	})
+	}
+	if cfg.TrainerPool != nil {
+		// Guarded assignment: a nil *TrainerPool must stay a nil
+		// interface in core, or the pool branch would dereference it.
+		ccfg.TrainerPool = cfg.TrainerPool
+		ccfg.TrainerKey = cfg.TrainerKey
+	}
+	inner, err := core.NewDetector(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -480,6 +518,23 @@ func (d *Detector) WaitFineTune() { d.inner.WaitFineTune() }
 
 // WarmedUp reports whether the initial training completed.
 func (d *Detector) WarmedUp() bool { return d.inner.WarmedUp() }
+
+// PageOut demotes the detector to the warm tier: any in-flight
+// fine-tune is drained, the window/training-set/drift/scorer state is
+// serialized into the returned blob and its backing storage released.
+// The model stays resident. Step panics until PageIn restores the blob.
+func (d *Detector) PageOut() ([]byte, error) { return d.inner.PageOut() }
+
+// PageIn restores state paged out by PageOut, bit-identically.
+func (d *Detector) PageIn(blob []byte) error { return d.inner.PageIn(blob) }
+
+// Paged reports whether the detector's window state is paged out.
+func (d *Detector) Paged() bool { return d.inner.Paged() }
+
+// Close drains or cancels any in-flight asynchronous fine-tune so no
+// trainer-pool task outlives the detector. The detector remains usable;
+// Close is optional for process-lifetime detectors.
+func (d *Detector) Close() { d.inner.Close() }
 
 // DriftOps exposes the Task 2 strategy's cumulative operation counts
 // (Table II instrumentation).
