@@ -32,7 +32,7 @@ type Conformal struct {
 	ring    *window.Ring
 	eps     float64
 	dropped int
-	top     []float64 // reusable top-(k+1) scratch for Threshold
+	top     []float64 //streamad:transient reusable top-(k+1) scratch for Threshold, overwritten per call
 }
 
 // NewConformal returns a conformal decision rule with a calibration
@@ -149,10 +149,13 @@ func searchAscending(a []float64, x float64) int {
 // Name implements Thresholder.
 func (c *Conformal) Name() string { return "conformal" }
 
-// conformalState is the serializable form of a Conformal rule.
+// conformalState is the serializable form of a Conformal rule. Dropped
+// rides along so the diagnostic counter survives a restore; snapshots
+// written before it existed decode with Dropped zero.
 type conformalState struct {
-	Eps  float64
-	Ring []byte
+	Eps     float64
+	Ring    []byte
+	Dropped int
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler, so the ingest
@@ -163,7 +166,7 @@ func (c *Conformal) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(conformalState{Eps: c.eps, Ring: ring}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(conformalState{Eps: c.eps, Ring: ring, Dropped: c.dropped}); err != nil {
 		return nil, fmt.Errorf("score: encode conformal: %w", err)
 	}
 	return buf.Bytes(), nil
@@ -179,5 +182,6 @@ func (c *Conformal) UnmarshalBinary(data []byte) error {
 	if st.Eps != c.eps {
 		return fmt.Errorf("score: conformal snapshot eps=%v != receiver eps=%v", st.Eps, c.eps)
 	}
+	c.dropped = st.Dropped
 	return c.ring.UnmarshalBinary(st.Ring)
 }

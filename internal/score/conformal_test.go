@@ -158,3 +158,28 @@ func TestConformalMarshalRoundTrip(t *testing.T) {
 		t.Fatal("UnmarshalBinary accepted a snapshot with different eps")
 	}
 }
+
+// TestConformalDroppedSurvivesRestore pins the diagnostic counter into
+// the snapshot: a restored rule must report the same Dropped() count,
+// not silently reset to zero.
+func TestConformalDroppedSurvivesRestore(t *testing.T) {
+	c := NewConformal(16, 0.1)
+	c.Observe(1.5)
+	c.Observe(math.NaN())
+	c.Observe(math.Inf(1))
+	c.Observe(2.5)
+	if c.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", c.Dropped())
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := NewConformal(16, 0.1)
+	if err := twin.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if twin.Dropped() != c.Dropped() {
+		t.Fatalf("restored Dropped() = %d, want %d", twin.Dropped(), c.Dropped())
+	}
+}

@@ -124,6 +124,7 @@ type quantileState struct {
 	DN      [5]float64
 	Heights [5]float64
 	Count   int
+	Dropped int
 	Init    []float64
 }
 
@@ -131,7 +132,7 @@ type quantileState struct {
 func (p *QuantileThresholder) MarshalBinary() ([]byte, error) {
 	st := quantileState{
 		Q: p.q, N: p.n, NP: p.np, DN: p.dn, Heights: p.heights,
-		Count: p.count, Init: append([]float64(nil), p.init...),
+		Count: p.count, Dropped: p.dropped, Init: append([]float64(nil), p.init...),
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -155,6 +156,7 @@ func (p *QuantileThresholder) UnmarshalBinary(data []byte) error {
 	}
 	p.n, p.np, p.dn, p.heights = st.N, st.NP, st.DN, st.Heights
 	p.count = st.Count
+	p.dropped = st.Dropped
 	p.init = append(p.init[:0], st.Init...)
 	return nil
 }

@@ -161,3 +161,27 @@ func TestQuantileThresholderNonFiniteDuringColdStart(t *testing.T) {
 		t.Fatal("outlier must alert once five finite scores have seeded the markers")
 	}
 }
+
+// TestQuantileThresholderDroppedSurvivesRestore pins the diagnostic
+// counter into the snapshot: a restored thresholder must report the same
+// Dropped() count, not silently reset to zero.
+func TestQuantileThresholderDroppedSurvivesRestore(t *testing.T) {
+	p := NewQuantileThresholder(0.9)
+	for _, v := range []float64{0.1, math.NaN(), 0.2, math.Inf(-1), 0.3, 0.4, 0.5, 0.6} {
+		p.Alert(v)
+	}
+	if p.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", p.Dropped())
+	}
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := NewQuantileThresholder(0.9)
+	if err := twin.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if twin.Dropped() != p.Dropped() {
+		t.Fatalf("restored Dropped() = %d, want %d", twin.Dropped(), p.Dropped())
+	}
+}
