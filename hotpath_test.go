@@ -183,3 +183,45 @@ func TestAsyncSpecToken(t *testing.T) {
 		t.Fatal("3-part spec ending in async must not parse (async is not a task2)")
 	}
 }
+
+// TestStepZeroAllocSanitizeAttribution covers the scoring hot path with
+// both input repair and per-channel attribution switched on — the two
+// features whose scratch buffers used to be allocated lazily inside the
+// first Step instead of by the constructor.
+func TestStepZeroAllocSanitizeAttribution(t *testing.T) {
+	d, err := New(Config{
+		Model: ModelARIMA, Task1: TaskSlidingWindow, Task2: TaskRegular,
+		Score: ScoreLikelihood, RegularInterval: 1 << 30,
+		Channels: 3, Window: 8, TrainSize: 32, WarmupVectors: 40, Seed: 3,
+		Sanitize: true, Attribution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 3)
+	step := 0
+	for !d.WarmedUp() {
+		d.Step(syntheticVec(buf, step))
+		step++
+		if step > 10000 {
+			t.Fatal("detector never warmed up")
+		}
+	}
+	for i := 0; i < 20; i++ {
+		d.Step(syntheticVec(buf, step))
+		step++
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		vec := syntheticVec(buf, step)
+		if step%7 == 0 {
+			vec[step%3] = math.NaN() // exercise the repair branch too
+		}
+		if _, ok := d.Step(vec); !ok {
+			t.Fatal("warm detector returned not-ready")
+		}
+		step++
+	})
+	if allocs != 0 {
+		t.Fatalf("Step with sanitize+attribution allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -192,10 +192,10 @@ type Detector struct {
 	lastGood   []float64 // per-channel last finite value (Sanitize)
 	sanBuf     []float64
 	sanitized  int
-	attrBuf    []float64
-	asyncFT    bool // serve/train split active
-	poolFT     bool // fine-tunes routed through the shared trainer pool
-	paged      bool // window state released to the snapshot store (warm tier)
+	attrBuf    []float64 //streamad:transient per-step attribution scratch, preallocated by NewDetector and derived each Step
+	asyncFT    bool      // serve/train split active
+	poolFT     bool      // fine-tunes routed through the shared trainer pool
+	paged      bool      // window state released to the snapshot store (warm tier)
 	trainMu    sync.Mutex
 	train      *trainer
 }
@@ -236,16 +236,24 @@ func NewDetector(cfg Config) (*Detector, error) {
 		d.asyncFT = true
 		d.poolFT = cfg.TrainerPool != nil
 	}
+	// Scoring-path scratch is allocated here, never lazily: the very
+	// first post-warmup Step must already run allocation-free.
+	if cfg.Sanitize {
+		n := cfg.Representer.Channels()
+		d.lastGood = make([]float64, n)
+		d.sanBuf = make([]float64, n)
+	}
+	if cfg.Attribution {
+		d.attrBuf = make([]float64, cfg.Representer.Channels())
+	}
 	return d, nil
 }
 
 // sanitize replaces non-finite values with the channel's last finite
-// value, returning a buffer owned by the detector.
+// value, returning a buffer owned by the detector. Its buffers are
+// allocated by NewDetector (and restored by Load), so the scoring path
+// never touches the heap here.
 func (d *Detector) sanitize(s []float64) []float64 {
-	if d.lastGood == nil {
-		d.lastGood = make([]float64, len(s))
-		d.sanBuf = make([]float64, len(s))
-	}
 	// One fused scan repairs into sanBuf while refreshing lastGood; the
 	// clean (overwhelmingly common) case still returns s untouched.
 	dirty := false
@@ -329,6 +337,7 @@ func (d *Detector) Step(s []float64) (Result, bool) {
 	update := d.cfg.TrainingSet.Observe(x, f)
 	fineTuned := false
 	if d.cfg.Drift.Observe(update, x, d.cfg.TrainingSet) {
+		//streamad:ignore hotalloc fine-tune launch (model clone, goroutine or pool submit) runs only on a drift trigger, amortized over thousands of steps
 		fineTuned = d.fineTune()
 	}
 	return Result{Nonconformity: a, Score: f, FineTuned: fineTuned, Attribution: attribution}, true
@@ -340,9 +349,6 @@ func (d *Detector) Step(s []float64) (Result, bool) {
 // channels out as index mod N.
 func (d *Detector) attribute(target, pred []float64) []float64 {
 	n := d.cfg.Representer.Channels()
-	if d.attrBuf == nil {
-		d.attrBuf = make([]float64, n)
-	}
 	for i := range d.attrBuf {
 		d.attrBuf[i] = 0
 	}

@@ -260,3 +260,49 @@ func TestZeroWarmupStillFitsOnce(t *testing.T) {
 		t.Fatalf("fits = %d, want 1 immediate initial fit", model.fits)
 	}
 }
+
+// TestScratchPreallocated pins the constructor-time allocation of the
+// scoring-path scratch: sanitize and attribute used to allocate their
+// buffers lazily on first use, which put a make on the hot path (the
+// transitive hotalloc audit flags it). The buffers must exist before the
+// first Step, and survive a Load of a snapshot with no repair history.
+func TestScratchPreallocated(t *testing.T) {
+	cfg := testConfig(&echoModel{bias: 1}, 2, 3, 8, 4)
+	cfg.Sanitize = true
+	cfg.Attribution = true
+	cfg.Scorer = score.Raw{} // checkpointable, so the snapshot below works
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.lastGood) != 3 || len(d.sanBuf) != 3 {
+		t.Fatalf("sanitize buffers not preallocated: lastGood=%d sanBuf=%d", len(d.lastGood), len(d.sanBuf))
+	}
+	if len(d.attrBuf) != 3 {
+		t.Fatalf("attribution buffer not preallocated: %d", len(d.attrBuf))
+	}
+
+	// First sanitize call must repair against the zeroed history without
+	// allocating; first attribute call must have its buffer ready.
+	out := d.sanitize([]float64{1, math.NaN(), 3})
+	if out[1] != 0 {
+		t.Fatalf("first-step repair = %v, want last-good default 0", out[1])
+	}
+
+	// A snapshot taken before any repair has no LastGood history; loading
+	// it must keep the constructor's buffers rather than nil them.
+	clean, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := clean.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.lastGood) != 3 || len(d.sanBuf) != 3 {
+		t.Fatalf("sanitize buffers lost across Load: lastGood=%d sanBuf=%d", len(d.lastGood), len(d.sanBuf))
+	}
+}

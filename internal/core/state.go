@@ -122,10 +122,17 @@ func (d *Detector) UnmarshalBinary(data []byte) error {
 	d.steps = st.Steps
 	d.fineTunes = st.FineTunes
 	d.sanitized = st.Sanitized
-	if len(st.LastGood) > 0 {
+	switch {
+	case len(st.LastGood) > 0:
 		d.lastGood = append([]float64(nil), st.LastGood...)
 		d.sanBuf = make([]float64, len(st.LastGood))
-	} else {
+	case d.cfg.Sanitize:
+		// Older snapshot with no repair history: keep the buffers the
+		// constructor allocated (zeroed), so sanitize stays alloc-free.
+		for i := range d.lastGood {
+			d.lastGood[i] = 0
+		}
+	default:
 		d.lastGood = nil
 		d.sanBuf = nil
 	}
