@@ -73,6 +73,7 @@ func main() {
 		overload   = flag.String("overload", "block", "full-queue policy: block (backpressure) | shed (429 + Retry-After) | drop-oldest")
 		streamTTL  = flag.Duration("stream-ttl", 0, "checkpoint and unload streams idle this long (0 = keep forever)")
 		maxStreams = flag.Int("max-streams", 0, "maximum live (hot+warm) streams (0 = 1024)")
+		metricsCap = flag.Int("metrics-stream-cap", 0, "streams with per-stream /metrics series, first N by id; the rest are counted in streamad_metrics_streams_omitted (0 = 500, negative = unlimited)")
 		warmAfter  = flag.Duration("tier-warm-after", 0, "demote streams idle this long to the warm tier: model stays resident, window state pages to -state-dir until the next observe (0 = never; requires -state-dir)")
 
 		clusterPeers   = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster node, self included (empty = single node)")
@@ -206,6 +207,7 @@ func main() {
 		Overload:         policy,
 		StreamTTL:        *streamTTL,
 		WarmAfter:        *warmAfter,
+		MetricsStreamCap: *metricsCap,
 		ScorePool:        scorePool,
 		TrainerPool:      trainerPool,
 		Store:            store,

@@ -52,6 +52,12 @@ type Stepper = ingest.Stepper
 // agreement and weights, surfaced in stream stats and /metrics.
 type MemberStatser = ingest.MemberStatser
 
+// defaultMetricsStreamCap is how many streams get per-stream series on
+// /metrics when Config.MetricsStreamCap is zero. 500 streams × ~30
+// series is well inside what scrapers ingest comfortably; beyond that
+// the omitted gauge reports the cut.
+const defaultMetricsStreamCap = 500
+
 // Config assembles a Server.
 type Config struct {
 	// NewDetector builds a detector for a new stream id (required).
@@ -101,6 +107,13 @@ type Config struct {
 	// SnapshotEvery checkpoints a stream once this many vectors accumulate
 	// in its WAL, independent of the timer (0 disables the entry trigger).
 	SnapshotEvery int
+	// MetricsStreamCap bounds how many streams get per-stream series on
+	// /metrics (default 500, negative = unlimited). Streams are ranked by
+	// id, so the rendered subset is stable across scrapes; the
+	// streamad_metrics_streams_omitted gauge counts the remainder. At the
+	// fleet sizes the registry targets, unbounded per-stream series are a
+	// cardinality bomb for any scraper.
+	MetricsStreamCap int
 	// Logf receives persistence diagnostics (default: discard).
 	Logf func(format string, args ...interface{})
 	// Cluster, when set with at least two peers, makes this server one
@@ -113,11 +126,12 @@ type Config struct {
 
 // Server is an http.Handler serving the scoring API.
 type Server struct {
-	reg     *ingest.Registry
-	mux     *http.ServeMux
-	obsLat  latencyHist // streamad_ingest_observe_seconds
-	node    *cluster.Node
-	trainer *pool.Trainer // reported in /metrics; owned by the caller
+	reg        *ingest.Registry
+	mux        *http.ServeMux
+	obsLat     latencyHist // streamad_ingest_observe_seconds
+	node       *cluster.Node
+	trainer    *pool.Trainer // reported in /metrics; owned by the caller
+	metricsCap int           // streams with per-stream series (0 = unlimited)
 }
 
 // New validates the configuration and returns a Server.
@@ -145,6 +159,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{reg: reg, mux: http.NewServeMux(), trainer: cfg.TrainerPool}
+	switch {
+	case cfg.MetricsStreamCap > 0:
+		s.metricsCap = cfg.MetricsStreamCap
+	case cfg.MetricsStreamCap == 0:
+		s.metricsCap = defaultMetricsStreamCap
+	}
 	if cfg.Cluster != nil && len(cfg.Cluster.Peers) > 0 {
 		ccfg := *cfg.Cluster
 		if ccfg.NewDetector == nil {
@@ -729,20 +749,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	rows := s.reg.Streams()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	// Per-stream families are rendered for the first MetricsStreamCap
+	// streams by id; the rest only appear in the omitted gauge. The
+	// line-level metriclint suppressions below all rest on this bound.
+	omitted := 0
+	if s.metricsCap > 0 && len(rows) > s.metricsCap {
+		omitted = len(rows) - s.metricsCap
+		rows = rows[:s.metricsCap]
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintln(w, "# HELP streamad_metrics_streams_omitted Streams beyond the per-stream series cap (-metrics-stream-cap); their series are not rendered.")
+	fmt.Fprintln(w, "# TYPE streamad_metrics_streams_omitted gauge")
+	fmt.Fprintf(w, "streamad_metrics_streams_omitted %d\n", omitted)
 	fmt.Fprintln(w, "# HELP streamad_steps_total Stream vectors observed per stream.")
 	fmt.Fprintln(w, "# TYPE streamad_steps_total counter")
 	for _, r := range rows {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_steps_total{stream=%q} %d\n", r.ID, r.Steps)
 	}
 	fmt.Fprintln(w, "# HELP streamad_ready_steps_total Scored (post-warmup) steps per stream.")
 	fmt.Fprintln(w, "# TYPE streamad_ready_steps_total counter")
 	for _, r := range rows {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_ready_steps_total{stream=%q} %d\n", r.ID, r.Ready)
 	}
 	fmt.Fprintln(w, "# HELP streamad_alerts_total Threshold crossings per stream.")
 	fmt.Fprintln(w, "# TYPE streamad_alerts_total counter")
 	for _, r := range rows {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_alerts_total{stream=%q} %d\n", r.ID, r.Alerts)
 	}
 	writeFineTuneMetrics(w, rows)
@@ -769,21 +803,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP streamad_ensemble_member_ready_total Scored steps per ensemble member.")
 	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_ready_total counter")
 	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_ensemble_member_ready_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, m.Ready)
 	})
 	fmt.Fprintln(w, "# HELP streamad_ensemble_member_fine_tunes_total Drift-triggered fine-tunes per ensemble member.")
 	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_fine_tunes_total counter")
 	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_ensemble_member_fine_tunes_total{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, m.FineTunes)
 	})
 	fmt.Fprintln(w, "# HELP streamad_ensemble_member_agreement Rolling consensus-agreement counter per ensemble member.")
 	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_agreement gauge")
 	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_ensemble_member_agreement{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, m.Agreement)
 	})
 	fmt.Fprintln(w, "# HELP streamad_ensemble_member_weight Normalized aggregation weight per ensemble member (0 when pruned).")
 	fmt.Fprintln(w, "# TYPE streamad_ensemble_member_weight gauge")
 	memberRows(func(r ingest.StreamInfo, m ensemble.MemberStat) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_ensemble_member_weight{stream=%q,member=\"%d\",spec=%q} %g\n", r.ID, m.Index, m.Label, m.Weight)
 	})
 	fmt.Fprintln(w, "# HELP streamad_ensemble_member_disabled Whether the pruning policy currently excludes the member (0/1).")
@@ -793,6 +831,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if m.Disabled {
 			v = 1
 		}
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_ensemble_member_disabled{stream=%q,member=\"%d\",spec=%q} %d\n", r.ID, m.Index, m.Label, v)
 	})
 }
@@ -822,6 +861,7 @@ func writeFineTuneMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
 		if r.FineTune.InFlight {
 			v = 1
 		}
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_finetune_inflight{stream=%q} %d\n", r.ID, v)
 	}
 	fmt.Fprintln(w, "# HELP streamad_finetune_skipped_total Drift triggers dropped because a fine-tune was already in flight.")
@@ -830,6 +870,7 @@ func writeFineTuneMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
 		if r.FineTune == nil {
 			continue
 		}
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_finetune_skipped_total{stream=%q} %d\n", r.ID, r.FineTune.Skipped)
 	}
 	fmt.Fprintln(w, "# HELP streamad_finetune_seconds Fine-tuning epoch duration.")
@@ -842,11 +883,15 @@ func writeFineTuneMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
 		var cum uint64
 		for i, bound := range core.FineTuneBuckets {
 			cum += ft.Buckets[i]
+			//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 			fmt.Fprintf(w, "streamad_finetune_seconds_bucket{stream=%q,le=\"%g\"} %d\n", r.ID, bound, cum)
 		}
 		cum += ft.Buckets[len(core.FineTuneBuckets)]
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_finetune_seconds_bucket{stream=%q,le=\"+Inf\"} %d\n", r.ID, cum)
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_finetune_seconds_sum{stream=%q} %g\n", r.ID, ft.TotalSeconds)
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_finetune_seconds_count{stream=%q} %d\n", r.ID, ft.Completed)
 	}
 }
@@ -875,31 +920,37 @@ func writeCascadeMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
 	fmt.Fprintln(w, "# HELP streamad_cascade_screened_total Vectors answered by the tier-0 gate alone.")
 	fmt.Fprintln(w, "# TYPE streamad_cascade_screened_total counter")
 	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_cascade_screened_total{stream=%q,gate=%q} %d\n", r.ID, cs.GateLabel, cs.Screened)
 	})
 	fmt.Fprintln(w, "# HELP streamad_cascade_admitted_total Vectors the conformal gate admitted to the heavy tier.")
 	fmt.Fprintln(w, "# TYPE streamad_cascade_admitted_total counter")
 	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_cascade_admitted_total{stream=%q,gate=%q} %d\n", r.ID, cs.GateLabel, cs.Admitted)
 	})
 	fmt.Fprintln(w, "# HELP streamad_cascade_forwarded_total Vectors forwarded to the heavy tier unconditionally during ramp-up.")
 	fmt.Fprintln(w, "# TYPE streamad_cascade_forwarded_total counter")
 	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_cascade_forwarded_total{stream=%q,gate=%q} %d\n", r.ID, cs.GateLabel, cs.Forwarded)
 	})
 	fmt.Fprintln(w, "# HELP streamad_cascade_admit_target Configured false-admission rate epsilon of the conformal gate.")
 	fmt.Fprintln(w, "# TYPE streamad_cascade_admit_target gauge")
 	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_cascade_admit_target{stream=%q} %g\n", r.ID, cs.AdmitTarget)
 	})
 	fmt.Fprintln(w, "# HELP streamad_cascade_admission_rate Observed admission fraction among gate decisions.")
 	fmt.Fprintln(w, "# TYPE streamad_cascade_admission_rate gauge")
 	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_cascade_admission_rate{stream=%q} %g\n", r.ID, cs.AdmissionRate)
 	})
 	fmt.Fprintln(w, "# HELP streamad_cascade_heavy_rate Fraction of all traffic that reached the heavy tier.")
 	fmt.Fprintln(w, "# TYPE streamad_cascade_heavy_rate gauge")
 	cascadeRows(func(r ingest.StreamInfo, cs *cascade.Stats) {
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_cascade_heavy_rate{stream=%q} %g\n", r.ID, cs.HeavyRate)
 	})
 	fmt.Fprintln(w, "# HELP streamad_cascade_screening Whether the conformal gate is currently screening (0 = ramp-up forwarding).")
@@ -909,6 +960,7 @@ func writeCascadeMetrics(w http.ResponseWriter, rows []ingest.StreamInfo) {
 		if cs.Screening {
 			v = 1
 		}
+		//streamad:ignore metriclint per-stream series bounded by -metrics-stream-cap; overflow counted in streamad_metrics_streams_omitted
 		fmt.Fprintf(w, "streamad_cascade_screening{stream=%q} %d\n", r.ID, v)
 	})
 }

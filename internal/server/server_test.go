@@ -378,7 +378,8 @@ func TestMetricsExposition(t *testing.T) {
 		}
 		if strings.HasPrefix(name, "streamad_ingest_") ||
 			strings.HasPrefix(name, "streamad_tier_") ||
-			strings.HasPrefix(name, "streamad_pool_") {
+			strings.HasPrefix(name, "streamad_pool_") ||
+			strings.HasPrefix(name, "streamad_metrics_") {
 			continue // process-level families carry no stream label
 		}
 		stream, ok := labels["stream"]
@@ -529,5 +530,74 @@ func TestEnsembleThroughServer(t *testing.T) {
 			!strings.Contains(text, family+`{stream="s",member="0",spec="knn+sw+regular+avg"}`) {
 			t.Fatalf("metrics missing member family %s:\n%s", family, text)
 		}
+	}
+}
+
+// TestMetricsStreamCap pins the per-stream cardinality bound: with a cap
+// of 2, only the first two streams by id get per-stream series, the
+// omitted gauge counts the rest, and the aggregate families still render.
+func TestMetricsStreamCap(t *testing.T) {
+	srv, err := New(Config{
+		NewDetector: func(string) (Stepper, error) { return &stubDetector{dim: 2}, nil },
+		NewThresholder: func(string) score.Thresholder {
+			return &score.StaticThresholder{T: 0.5}
+		},
+		MetricsStreamCap: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	for _, id := range []string{"cap-a", "cap-b", "cap-c", "cap-d"} {
+		observe(t, ts, id, []float64{1, 2})
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		`streamad_steps_total{stream="cap-a"} 1`,
+		`streamad_steps_total{stream="cap-b"} 1`,
+		"streamad_metrics_streams_omitted 2",
+		"streamad_ingest_shed_total", // aggregate families are never capped
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	for _, absent := range []string{`stream="cap-c"`, `stream="cap-d"`} {
+		if strings.Contains(body, absent) {
+			t.Fatalf("metrics contains %q beyond the cap:\n%s", absent, body)
+		}
+	}
+}
+
+// TestMetricsStreamCapDefault checks the zero-config default keeps every
+// stream when the fleet is small and the omitted gauge reads zero.
+func TestMetricsStreamCapDefault(t *testing.T) {
+	ts := newTestServer(t)
+	observe(t, ts, "only", []float64{1, 2})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if !strings.Contains(body, "streamad_metrics_streams_omitted 0") {
+		t.Fatalf("omitted gauge missing or nonzero:\n%s", body)
+	}
+	if !strings.Contains(body, `streamad_steps_total{stream="only"} 1`) {
+		t.Fatalf("per-stream series missing under default cap:\n%s", body)
 	}
 }
