@@ -111,7 +111,7 @@ func NewTier0(base Config, kind Tier0Kind, win int) (StreamDetector, error) {
 // and Ensemble, a Cascade is not safe for concurrent use.
 type Cascade struct {
 	inner *cascade.Cascade
-	spec  CascadeSpec
+	spec  CascadeSpec //streamad:transient construction blueprint kept for Spec(); Save/Load round-trips the inner cascade's state
 }
 
 // NewCascade builds a screening cascade. base supplies the stream

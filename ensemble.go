@@ -147,8 +147,7 @@ const memberSeedStride int64 = 1_000_003
 // concurrent use.
 type Ensemble struct {
 	inner *ensemble.Ensemble
-	spec  EnsembleSpec
-	base  Config
+	spec  EnsembleSpec //streamad:transient construction blueprint kept for Spec(); Save/Load round-trips the inner ensemble's state
 }
 
 // NewEnsemble builds an ensemble detector. base supplies the stream
@@ -193,7 +192,7 @@ func NewEnsemble(base Config, spec EnsembleSpec) (*Ensemble, error) {
 	if err != nil {
 		return nil, fmt.Errorf("streamad: %w", err)
 	}
-	return &Ensemble{inner: inner, spec: spec, base: base}, nil
+	return &Ensemble{inner: inner, spec: spec}, nil
 }
 
 // NewFromSpec builds a detector from a spec string: a single pipeline

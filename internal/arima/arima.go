@@ -23,15 +23,15 @@ type Model struct {
 	d        int // differencing order
 	channels int // N
 	gamma    []float64
-	lr       float64
-	binom    []float64 // signed binomial coefficients for ∇^d
+	lr       float64   //streamad:transient learning rate fixed at construction; snapshots restore onto an identically-configured model
+	binom    []float64 //streamad:transient derived from the differencing order d at construction (signedBinomial)
 	// scratch buffers — Predict and step run allocation-free once series
 	// has grown to the window size.
-	series    []float64
-	targetBuf []float64
-	predBuf   []float64
-	lagDiffs  []float64
-	gradBuf   []float64
+	series    []float64 //streamad:transient per-call copy of the input window, overwritten by every Predict
+	targetBuf []float64 //streamad:transient per-call forecasting scratch
+	predBuf   []float64 //streamad:transient per-call forecasting scratch
+	lagDiffs  []float64 //streamad:transient per-call forecasting scratch
+	gradBuf   []float64 //streamad:transient per-call gradient scratch
 }
 
 // Config parameterizes the online ARIMA model.

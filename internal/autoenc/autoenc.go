@@ -24,10 +24,10 @@ type Model struct {
 	opt    nn.Optimizer
 	scaler *nn.Scaler
 	dim    int
-	lr     float64
-	grad   []float64
-	zbuf   []float64
-	ctx    *nn.MLPContext // training pass scratch
+	lr     float64        //streamad:transient learning rate fixed at construction; snapshots restore onto an identically-configured model
+	grad   []float64      //streamad:transient per-call gradient scratch
+	zbuf   []float64      //streamad:transient per-call scaling scratch
+	ctx    *nn.MLPContext //streamad:transient training pass scratch, allocated at construction
 }
 
 // Config parameterizes the autoencoder.

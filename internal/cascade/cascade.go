@@ -72,10 +72,10 @@ type Config struct {
 type Cascade struct {
 	gate        Member
 	gateLabel   string
-	gateSource  string
+	gateSource  string //streamad:transient result-source label derived from the gate spec at construction
 	heavy       []Member
 	heavyLabels []string
-	heavySource string
+	heavySource string //streamad:transient result-source label derived from the heavy specs at construction
 	admit       float64
 	calib       int
 	minCalib    int

@@ -120,7 +120,7 @@ func (m *member) step(v []float64) (out stepOut) {
 // callers serialize Step (the HTTP server holds one lock per stream).
 type Ensemble struct {
 	members    []*member
-	pool       *pool.Pool
+	pool       *pool.Pool //streamad:transient shared scoring pool, an external resource wired at construction
 	agg        Agg
 	verdict    float64
 	counterCap int
@@ -130,15 +130,15 @@ type Ensemble struct {
 	steps      int
 	readySteps int
 
-	stepVec []float64 // the vector tasks read; set before each fan-out
-	tasks   []func()  // preallocated per-member pool tasks
-	outs    []stepOut
-	scores  []float64
-	nonconf []float64
-	weights []float64
-	scratch []float64
+	stepVec []float64 //streamad:transient the vector tasks read, set before each fan-out
+	tasks   []func()  //streamad:transient preallocated per-member pool tasks, rebuilt at construction
+	outs    []stepOut //streamad:transient per-step fan-out scratch
+	scores  []float64 //streamad:transient per-step aggregation scratch, refilled by collect
+	nonconf []float64 //streamad:transient per-step aggregation scratch, refilled by collect
+	weights []float64 //streamad:transient per-step performance weights, recomputed by collect from member counters
+	scratch []float64 //streamad:transient combine() working buffer
 
-	closeOnce sync.Once
+	closeOnce sync.Once //streamad:transient process-local close latch, not stream state
 }
 
 // New validates the configuration and returns the Ensemble. Members own

@@ -22,7 +22,7 @@ type Model struct {
 	dim   int
 	ref   [][]float64
 	scale float64   // median in-set k-NN distance at the last Fit
-	best  []float64 // reusable top-k scratch for knnDistance
+	best  []float64 //streamad:transient reusable top-k scratch for knnDistance, overwritten per call
 }
 
 // Config parameterizes the kNN detector.

@@ -77,9 +77,9 @@ type Model struct {
 	opt      nn.Optimizer
 	scaler   *nn.Scaler
 	channels int
-	backLen  int // w−1 rows of history
-	inDim    int // backLen·channels
-	lr       float64
+	backLen  int     // w−1 rows of history
+	inDim    int     // backLen·channels
+	lr       float64 //streamad:transient learning rate fixed at construction; snapshots restore onto an identically-configured model
 
 	// Preallocated hot-path scratch (see initScratch): the whole
 	// forward/backward pass runs without heap allocations.

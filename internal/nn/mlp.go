@@ -11,8 +11,8 @@ type MLP struct {
 	Layers []*Linear
 	Acts   []Activation
 
-	params  []*Param    // cached flat parameter list
-	scratch *MLPContext // Predict's private context
+	params  []*Param    //streamad:transient cached flat parameter list, rebuilt lazily by finish
+	scratch *MLPContext //streamad:transient Predict's private context, rebuilt lazily by finish
 }
 
 // MLPContext carries the per-layer buffers of one forward pass: the
@@ -143,6 +143,7 @@ func (m *MLP) Backward(ctx *MLPContext, gradOut []float64) []float64 {
 //streamad:hotpath
 func (m *MLP) Predict(x []float64) []float64 {
 	if m.scratch == nil {
+		//streamad:ignore hotalloc one-time lazy build for zero-value MLPs; NewMLP pre-builds, so a warm Predict never takes this branch
 		m.finish()
 	}
 	return m.ForwardCtx(m.scratch, x)
@@ -161,6 +162,7 @@ func (m *MLP) Params() []*Param {
 //
 //streamad:hotpath
 func (m *MLP) ZeroGrad() {
+	//streamad:ignore hotalloc Params only allocates on its one-time lazy build; warm MLPs return the cached slice
 	for _, p := range m.Params() {
 		p.ZeroGrad()
 	}

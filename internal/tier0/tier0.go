@@ -414,7 +414,7 @@ type Density struct {
 	alpha float64
 	scale float64
 	src   *randstate.CountedSource
-	rng   *rand.Rand
+	rng   *rand.Rand //streamad:transient stateless wrapper over src, whose position Save/Load round-trips
 	steps int
 }
 

@@ -36,23 +36,25 @@ type Model struct {
 	scaler *nn.MinMaxScaler
 	dim    int
 	latent int
-	lr     float64
-	epoch  int // adversarial schedule counter n
-	zbuf   []float64
+	lr     float64   //streamad:transient learning rate fixed at construction; snapshots restore onto an identically-configured model
+	epoch  int       // adversarial schedule counter n
+	zbuf   []float64 //streamad:transient per-call scaling scratch, built by initScratch at construction
 	// Alpha/Beta weight the two reconstruction errors in the inference
 	// score ½·(α·R₁ + β·R_both); defaults 0.5/0.5.
+	//
+	//streamad:transient inference-score weights fixed at construction, not learned state
 	Alpha, Beta float64
 
 	// Preallocated training scratch: the adversarial steps run up to two
 	// concurrent passes through E and D₂, so each in-flight pass gets its
 	// own context; g1..g3 are the loss-gradient buffers and params1/2 the
 	// cached per-objective parameter lists.
-	encCtxA, encCtxB   *nn.MLPContext
-	dec1Ctx            *nn.MLPContext
-	dec2CtxA, dec2CtxB *nn.MLPContext
-	g1, g2, g3         []float64
-	outBuf             []float64
-	params1, params2   []*nn.Param
+	encCtxA, encCtxB   *nn.MLPContext //streamad:transient training scratch, built by initScratch at construction
+	dec1Ctx            *nn.MLPContext //streamad:transient training scratch, built by initScratch at construction
+	dec2CtxA, dec2CtxB *nn.MLPContext //streamad:transient training scratch, built by initScratch at construction
+	g1, g2, g3         []float64      //streamad:transient loss-gradient scratch, built by initScratch at construction
+	outBuf             []float64      //streamad:transient forward-pass scratch, built by initScratch at construction
+	params1, params2   []*nn.Param    //streamad:transient cached parameter lists, built by initScratch; Load copies weights in place so the pointers stay valid
 }
 
 // initScratch builds the reusable training/inference buffers; it must run
