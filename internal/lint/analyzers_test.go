@@ -11,6 +11,27 @@ func TestHotAlloc(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.HotAlloc, "hotalloc", "tier0")
 }
 
+// TestHotAllocTransitive exercises the fact layer: the allocating
+// callees live in hotalloc2/helper, analyzed first, and the kernels in
+// hotalloc2 are flagged at their call sites through imported facts.
+func TestHotAllocTransitive(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.HotAlloc, "hotalloc2/helper", "hotalloc2")
+}
+
+func TestStateSync(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.StateSync, "statesync")
+}
+
+// TestMetricLint lists the declaring package before its importer so the
+// MetricsFact flows the same direction RunModule would order them.
+func TestMetricLint(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.MetricLint, "metriclint/decl", "metriclint")
+}
+
+func TestDirective(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Directive, "directive")
+}
+
 func TestDetRand(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.DetRand, "detrand", "detrand/internal/randstate")
 }

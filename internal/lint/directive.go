@@ -7,24 +7,46 @@ import (
 )
 
 // directiveIndex records, per file and line, which analyzers an ignore
-// directive silences. Two spellings are accepted, staticcheck-style:
+// directive silences and with what justification. Two spellings are
+// accepted, staticcheck-style:
 //
 //	//lint:ignore name1,name2 reason
 //	//streamad:ignore name1,name2 reason
 //
 // The special name "all" silences every analyzer. A directive covers
 // the line it sits on (end-of-line comment) and the line directly below
-// it (comment-above form). The reason is mandatory: a bare directive is
-// itself reported so suppressions stay auditable.
+// it (comment-above form). The reason is mandatory; the Directive
+// analyzer reports bare directives so suppressions stay auditable.
 type directiveIndex struct {
-	// ignores maps filename -> line -> analyzer-name set.
-	ignores map[string]map[int]map[string]bool
-	// malformed collects directives missing a reason.
-	malformed []token.Position
+	// ignores maps filename -> line -> analyzer-name -> reason.
+	ignores map[string]map[int]map[string]string
+}
+
+// parseIgnoreDirective splits one comment into the directive parts:
+// the comma-separated analyzer names and the justification (which may
+// be empty — callers decide whether that is an error).
+func parseIgnoreDirective(text string) (names []string, reason string, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(text, "lint:ignore"):
+		rest = text[len("lint:ignore"):]
+	case strings.HasPrefix(text, "streamad:ignore"):
+		rest = text[len("streamad:ignore"):]
+	default:
+		return nil, "", false
+	}
+	rest = strings.TrimSpace(rest)
+	nameField, reason, _ := strings.Cut(rest, " ")
+	for _, name := range strings.Split(nameField, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names, strings.TrimSpace(reason), true
 }
 
 func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
-	idx := &directiveIndex{ignores: make(map[string]map[int]map[string]bool)}
+	idx := &directiveIndex{ignores: make(map[string]map[int]map[string]string)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -32,39 +54,26 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex
 				if !ok {
 					continue
 				}
-				var rest string
-				switch {
-				case strings.HasPrefix(text, "lint:ignore"):
-					rest = text[len("lint:ignore"):]
-				case strings.HasPrefix(text, "streamad:ignore"):
-					rest = text[len("streamad:ignore"):]
-				default:
+				names, reason, ok := parseIgnoreDirective(text)
+				if !ok || len(names) == 0 || reason == "" {
+					// Bare or empty directives do not suppress anything;
+					// the Directive analyzer reports them.
 					continue
 				}
-				fields := strings.Fields(rest)
 				pos := fset.Position(c.Pos())
-				if len(fields) < 2 {
-					// Name without reason, or nothing at all.
-					idx.malformed = append(idx.malformed, pos)
-					continue
-				}
 				byLine := idx.ignores[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
+					byLine = make(map[int]map[string]string)
 					idx.ignores[pos.Filename] = byLine
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
-					}
+				for _, name := range names {
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						set := byLine[line]
 						if set == nil {
-							set = make(map[string]bool)
+							set = make(map[string]string)
 							byLine[line] = set
 						}
-						set[name] = true
+						set[name] = reason
 					}
 				}
 			}
@@ -73,12 +82,20 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex
 	return idx
 }
 
-// ignored reports whether a directive silences analyzer name at pos.
-func (idx *directiveIndex) ignored(name string, pos token.Position) bool {
+// ignored reports whether a directive silences analyzer name at pos,
+// returning the directive's reason when it does.
+func (idx *directiveIndex) ignored(name string, pos token.Position) (string, bool) {
 	byLine := idx.ignores[pos.Filename]
 	if byLine == nil {
-		return false
+		return "", false
 	}
 	set := byLine[pos.Line]
-	return set != nil && (set[name] || set["all"])
+	if set == nil {
+		return "", false
+	}
+	if r, ok := set[name]; ok {
+		return r, true
+	}
+	r, ok := set["all"]
+	return r, ok
 }

@@ -1,0 +1,57 @@
+package lint
+
+// Directive keeps the suppression mechanism itself honest. PR 5's
+// directive layer documented that a bare //streamad:ignore would be
+// reported, but the malformed list was collected and never surfaced —
+// so a reason-less suppression silently suppressed nothing, and a typo
+// in an analyzer name turned a deliberate exception into a latent
+// diagnostic. Directive closes both holes at vet time:
+//
+//   - an ignore directive must carry a justification after the analyzer
+//     names ("//streamad:ignore hotalloc reason..."),
+//   - every name it lists must be a known analyzer (or "all"),
+//   - it must name at least one analyzer.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc:  "flags suppression directives with no reason or unknown analyzer names",
+}
+
+// Run is attached in init: runDirective validates names against All(),
+// which includes Directive itself — a direct reference would be an
+// initialization cycle.
+func init() { Directive.Run = runDirective }
+
+func runDirective(p *Pass) error {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	known["all"] = true
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := trimCommentSlashes(c.Text)
+				if !ok {
+					continue
+				}
+				names, reason, ok := parseIgnoreDirective(text)
+				if !ok {
+					continue
+				}
+				if len(names) == 0 {
+					p.Reportf(c.Pos(), "suppression directive names no analyzers")
+					continue
+				}
+				if reason == "" {
+					p.Reportf(c.Pos(), "suppression directive missing reason: a bare ignore suppresses nothing")
+				}
+				for _, name := range names {
+					if !known[name] {
+						p.Reportf(c.Pos(), "suppression directive names unknown analyzer %q", name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -44,6 +44,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer flags.
 	Doc string
+	// FactTypes declares the fact types the analyzer exports and
+	// imports, as pointer-to-struct prototypes (required for the gob
+	// round-trip through vetx files).
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -57,32 +61,45 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	directives *directiveIndex
+	facts      *factStore
 	report     func(Diagnostic)
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
+// A covered ignore directive does not delete the finding — it survives
+// with Suppressed set and the directive's reason attached, so tooling
+// (-json mode, suppression audits) can see the full picture.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
+	// Reason is the justification text of the covering ignore
+	// directive; empty unless Suppressed.
+	Reason string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Reportf records a finding unless an ignore directive covers its line.
+// Reportf records a finding; an ignore directive covering its line
+// marks it suppressed rather than reported.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
-	if p.directives != nil && p.directives.ignored(p.Analyzer.Name, position) {
-		return
+	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
+	if p.directives != nil {
+		if reason, ok := p.directives.ignored(p.Analyzer.Name, position); ok {
+			d.Suppressed = true
+			d.Reason = reason
+		}
 	}
-	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	p.report(d)
 }
 
 // All returns the full analyzer catalogue in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, DetRand, FloatSafe, LockDiscipline, CtxGoroutine}
+	return []*Analyzer{HotAlloc, DetRand, FloatSafe, LockDiscipline, CtxGoroutine, StateSync, MetricLint, Directive}
 }
 
 // ByName resolves a comma-free analyzer name, or nil.
@@ -95,9 +112,23 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// RunPackage applies analyzers to a loaded package and returns the
-// surviving diagnostics sorted by position.
+// RunPackage applies analyzers to a loaded package with a fresh fact
+// set and returns the surviving (unsuppressed) diagnostics sorted by
+// position. Cross-package analyzers want RunPackageFacts or RunModule,
+// which thread one fact set through every package.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := RunPackageFacts(pkg, analyzers, NewFactSet())
+	if err != nil {
+		return nil, err
+	}
+	return dropSuppressed(diags), nil
+}
+
+// RunPackageFacts applies analyzers to one package, reading and
+// writing cross-package facts through fs. Suppressed diagnostics are
+// included (with their directive reasons); filter with dropSuppressed
+// via RunPackage or keep them for audit output.
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, fs *FactSet) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -107,12 +138,18 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:        pkg.Types,
 			TypesInfo:  pkg.Info,
 			directives: pkg.directives,
+			facts:      fs.store,
 			report:     func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -126,7 +163,16 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+}
+
+func dropSuppressed(diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // ---- shared AST/type helpers ----

@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// MetricLint audits the hand-rolled Prometheus text exposition the
+// /metrics endpoint assembles with fmt.Fprintf. The ~30 streamad_*
+// families PRs 3–9 accumulated are written as string literals, so their
+// discipline is statically checkable:
+//
+//   - every family a package emits samples for must have # HELP and
+//     # TYPE registered — in the same package or in a dependency (the
+//     declarations travel as package facts);
+//   - a family's label set must be identical at every emission site,
+//     across packages (histogram _bucket/_sum/_count series attach to
+//     their base family, with le allowed on _bucket);
+//   - # TYPE must use a valid Prometheus type, and a family must not be
+//     HELP/TYPE-registered twice;
+//   - no unbounded-cardinality labels: a label named stream/stream_id/id
+//     interpolated from a format verb means one series per stream — at
+//     the million-stream target that is a cardinality bomb for any
+//     scraper. Bounded exposition (capped rendering) is suppressed
+//     line-by-line with //streamad:ignore metriclint <reason>.
+//
+// Only string literals reaching fmt.Fprint/Fprintf/Fprintln calls are
+// considered, which is exactly how every exposition site in the repo is
+// written; dynamically assembled family names are invisible to the
+// analyzer and should not be introduced.
+var MetricLint = &Analyzer{
+	Name:      "metriclint",
+	Doc:       "checks streamad_* metric families for HELP/TYPE registration, consistent labels and bounded cardinality",
+	FactTypes: []Fact{(*MetricsFact)(nil)},
+	Run:       runMetricLint,
+}
+
+// MetricsFact is the per-package summary of metric families declared
+// and emitted, merged along the import graph so cross-package emission
+// stays consistent.
+type MetricsFact struct {
+	Families map[string]MetricFamily
+}
+
+// AFact implements Fact.
+func (*MetricsFact) AFact() {}
+
+// MetricFamily records what is known about one streamad_* family.
+type MetricFamily struct {
+	HelpPkg string // package path that declared # HELP ("" if none yet)
+	TypePkg string // package path that declared # TYPE
+	Type    string // counter | gauge | histogram | summary
+	// Labels is the canonical (sorted) label-name set of the first
+	// sample site seen; LabelsAt records that site for diagnostics.
+	Labels    []string
+	LabelsAt  string
+	HasSample bool
+}
+
+// promTypes are the valid # TYPE values.
+var promTypes = map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+
+// unboundedLabels name per-stream identities; one series per stream is
+// unbounded cardinality at the registry's scale.
+var unboundedLabels = map[string]bool{"stream": true, "stream_id": true, "id": true}
+
+type metricLine struct {
+	pos  token.Pos
+	text string // one exposition line from a literal, unescaped-ish
+}
+
+func runMetricLint(p *Pass) error {
+	// Inherit the merged view of every dependency.
+	families := make(map[string]MetricFamily)
+	p.EachImportedPackageFact(&MetricsFact{}, func(pkgPath string, f Fact) {
+		for name, fam := range f.(*MetricsFact).Families {
+			if have, ok := families[name]; ok {
+				families[name] = mergeFamily(have, fam)
+			} else {
+				families[name] = fam
+			}
+		}
+	})
+
+	lines := collectMetricLines(p)
+
+	// Phase 1: register local HELP/TYPE declarations.
+	for _, ml := range lines {
+		if !strings.HasPrefix(ml.text, "# ") {
+			continue
+		}
+		kind, family, rest, ok := parseMetaLine(ml.text)
+		if !ok {
+			continue
+		}
+		fam := families[family]
+		switch kind {
+		case "HELP":
+			if rest == "" {
+				p.Reportf(ml.pos, "HELP for %s has no description text", family)
+			}
+			if fam.HelpPkg != "" && fam.HelpPkg != p.Pkg.Path() {
+				p.Reportf(ml.pos, "HELP for %s already declared in %s; a family registers once", family, fam.HelpPkg)
+			} else if fam.HelpPkg == p.Pkg.Path() {
+				p.Reportf(ml.pos, "duplicate HELP for %s in this package", family)
+			}
+			fam.HelpPkg = p.Pkg.Path()
+		case "TYPE":
+			if !promTypes[rest] {
+				p.Reportf(ml.pos, "TYPE for %s is %q; want counter, gauge, histogram, summary or untyped", family, rest)
+			}
+			if fam.TypePkg != "" && fam.TypePkg != p.Pkg.Path() {
+				p.Reportf(ml.pos, "TYPE for %s already declared in %s; a family registers once", family, fam.TypePkg)
+			} else if fam.TypePkg == p.Pkg.Path() {
+				p.Reportf(ml.pos, "duplicate TYPE for %s in this package", family)
+			}
+			fam.TypePkg = p.Pkg.Path()
+			fam.Type = rest
+		}
+		families[family] = fam
+	}
+
+	// Phase 2: samples.
+	type sampleSite struct {
+		pos    token.Pos
+		family string // base family after histogram-suffix folding
+		labels []string
+		// dynamicUnbounded holds denylisted label names with verb values.
+		dynamicUnbounded []string
+	}
+	var sites []sampleSite
+	for _, ml := range lines {
+		if strings.HasPrefix(ml.text, "# ") {
+			continue
+		}
+		s, ok := parseSampleLine(ml.text)
+		if !ok {
+			continue
+		}
+		site := sampleSite{pos: ml.pos, family: s.family, labels: s.labelNames}
+		// Fold histogram series onto the base family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.family, suffix)
+			if base == s.family {
+				continue
+			}
+			if fam, ok := families[base]; ok && fam.Type == "histogram" {
+				site.family = base
+				if suffix == "_bucket" {
+					site.labels = without(site.labels, "le")
+				}
+			}
+			break
+		}
+		for _, lbl := range s.labels {
+			if unboundedLabels[lbl.name] && lbl.dynamic {
+				site.dynamicUnbounded = append(site.dynamicUnbounded, lbl.name)
+			}
+		}
+		sites = append(sites, site)
+	}
+
+	for _, site := range sites {
+		fam := families[site.family]
+		here := p.Fset.Position(site.pos).String()
+		if !fam.HasSample {
+			fam.HasSample = true
+			fam.Labels = site.labels
+			fam.LabelsAt = here
+		} else if !equalStrings(fam.Labels, site.labels) {
+			p.Reportf(site.pos, "family %s emitted with labels {%s} here but {%s} at %s; label sets must match at every site",
+				site.family, strings.Join(site.labels, ","), strings.Join(fam.Labels, ","), fam.LabelsAt)
+		}
+		if fam.HelpPkg == "" {
+			p.Reportf(site.pos, "family %s is emitted without a # HELP registration in this package or its dependencies", site.family)
+			fam.HelpPkg = p.Pkg.Path() // report once per family per package
+		}
+		if fam.TypePkg == "" {
+			p.Reportf(site.pos, "family %s is emitted without a # TYPE registration in this package or its dependencies", site.family)
+			fam.TypePkg = p.Pkg.Path()
+			fam.Type = "untyped"
+		}
+		for _, name := range site.dynamicUnbounded {
+			p.Reportf(site.pos, "label %q on %s takes a per-stream value: unbounded cardinality for any scraper; bound the exposition or aggregate", name, site.family)
+		}
+		families[site.family] = fam
+	}
+
+	// Export the merged view for importers.
+	if len(families) > 0 {
+		p.ExportPackageFact(&MetricsFact{Families: families})
+	}
+	return nil
+}
+
+func mergeFamily(a, b MetricFamily) MetricFamily {
+	if a.HelpPkg == "" {
+		a.HelpPkg = b.HelpPkg
+	}
+	if a.TypePkg == "" {
+		a.TypePkg = b.TypePkg
+		a.Type = b.Type
+	}
+	if !a.HasSample && b.HasSample {
+		a.HasSample = true
+		a.Labels = b.Labels
+		a.LabelsAt = b.LabelsAt
+	}
+	return a
+}
+
+// collectMetricLines pulls every line mentioning streamad_ out of the
+// string literals passed to fmt.Fprint/Fprintf/Fprintln in the package.
+func collectMetricLines(p *Pass) []metricLine {
+	var lines []metricLine
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(p.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+				return true
+			}
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+			default:
+				return true
+			}
+			for i, arg := range call.Args {
+				if i == 0 {
+					continue // the writer
+				}
+				lit, ok := unparen(arg).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				text, err := unquoteLit(lit.Value)
+				if err != nil {
+					continue
+				}
+				if !strings.Contains(text, "streamad_") {
+					continue
+				}
+				for _, line := range strings.Split(text, "\n") {
+					line = strings.TrimSpace(line)
+					if line != "" {
+						lines = append(lines, metricLine{pos: lit.Pos(), text: line})
+					}
+				}
+				// Only the format/first literal matters for Fprintf; for
+				// Fprintln every literal argument could be a line, so keep
+				// scanning.
+				if fn.Name() == "Fprintf" {
+					break
+				}
+			}
+			return true
+		})
+	}
+	return lines
+}
+
+// parseMetaLine parses "# HELP family text" / "# TYPE family type".
+func parseMetaLine(s string) (kind, family, rest string, ok bool) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	if !strings.HasPrefix(fields[2], "streamad_") || !validFamilyName(fields[2]) {
+		return "", "", "", false
+	}
+	return fields[1], fields[2], strings.Join(fields[3:], " "), true
+}
+
+type parsedSample struct {
+	family     string
+	labelNames []string
+	labels     []sampleLabel
+}
+
+type sampleLabel struct {
+	name    string
+	dynamic bool // value contains a format verb
+}
+
+// parseSampleLine parses `family{name=value,...} value` exposition
+// lines as they appear inside format strings (label values may be
+// format verbs like %q or escaped literals).
+func parseSampleLine(s string) (parsedSample, bool) {
+	if !strings.HasPrefix(s, "streamad_") {
+		return parsedSample{}, false
+	}
+	nameEnd := 0
+	for nameEnd < len(s) && isFamilyChar(s[nameEnd]) {
+		nameEnd++
+	}
+	family := s[:nameEnd]
+	if !validFamilyName(family) || nameEnd == len(s) {
+		return parsedSample{}, false
+	}
+	ps := parsedSample{family: family}
+	rest := s[nameEnd:]
+	switch rest[0] {
+	case ' ', '\t':
+		// No labels; must still look like a sample (something follows).
+		if strings.TrimSpace(rest) == "" {
+			return parsedSample{}, false
+		}
+	case '{':
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return parsedSample{}, false
+		}
+		for _, pair := range splitLabelPairs(rest[1:end]) {
+			name, value, found := strings.Cut(pair, "=")
+			if !found {
+				continue
+			}
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			ps.labels = append(ps.labels, sampleLabel{name: name, dynamic: strings.Contains(value, "%")})
+			ps.labelNames = append(ps.labelNames, name)
+		}
+	default:
+		return parsedSample{}, false
+	}
+	sort.Strings(ps.labelNames)
+	return ps, true
+}
+
+// splitLabelPairs splits a label block body on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var pairs []string
+	depth := false // inside a quoted value
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case '\\':
+			i++
+		case ',':
+			if !depth {
+				pairs = append(pairs, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		pairs = append(pairs, s[start:])
+	}
+	return pairs
+}
+
+func isFamilyChar(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('0' <= c && c <= '9')
+}
+
+func validFamilyName(s string) bool {
+	if !strings.HasPrefix(s, "streamad_") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isFamilyChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func without(labels []string, drop string) []string {
+	out := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l != drop {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unquoteLit unescapes a Go string literal ("..." or `...`).
+func unquoteLit(raw string) (string, error) {
+	if len(raw) >= 2 && raw[0] == '`' {
+		return raw[1 : len(raw)-1], nil
+	}
+	return unquoteDouble(raw)
+}
+
+// unquoteDouble handles the escape sequences that appear in exposition
+// format strings (\n, \t, \", \\); anything fancier is left verbatim,
+// which is fine for pattern matching.
+func unquoteDouble(raw string) (string, error) {
+	if len(raw) < 2 || raw[0] != '"' || raw[len(raw)-1] != '"' {
+		return "", fmt.Errorf("not a string literal")
+	}
+	var b strings.Builder
+	body := raw[1 : len(raw)-1]
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' || i+1 >= len(body) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(body[i])
+		}
+	}
+	return b.String(), nil
+}

@@ -8,9 +8,10 @@ import (
 )
 
 // TestSuiteCleanOnRepo is the self-application gate: the full analyzer
-// suite must produce zero diagnostics on the repository it ships in.
-// A finding here means either new code broke an invariant (fix it) or
-// a deliberate exception lacks its //streamad:ignore justification.
+// suite — cross-package facts included — must produce zero diagnostics
+// on the repository it ships in. A finding here means either new code
+// broke an invariant (fix it) or a deliberate exception lacks its
+// //streamad:ignore justification.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecks the whole module; skipped in -short mode")
@@ -31,19 +32,21 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(paths) == 0 {
 		t.Fatal("no packages found in module")
 	}
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			t.Errorf("load %s: %v", path, err)
-			continue
-		}
-		diags, err := lint.RunPackage(pkg, lint.All())
-		if err != nil {
-			t.Errorf("run %s: %v", path, err)
-			continue
-		}
-		for _, d := range diags {
+	res, err := lint.RunModule(loader, paths, lint.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range res.Diags {
+		if !d.Suppressed {
 			t.Errorf("%s", d)
+		}
+	}
+	// Every suppression must carry its justification; a reason-less
+	// directive suppresses nothing, so any diagnostic it covered would
+	// already have failed above — this guards the Diagnostic plumbing.
+	for _, d := range res.Diags {
+		if d.Suppressed && d.Reason == "" {
+			t.Errorf("%s: suppressed without a reason", d)
 		}
 	}
 }

@@ -1,0 +1,26 @@
+// Package directive is the fixture for the directive analyzer, which
+// audits the suppression mechanism itself. The malformed directives use
+// the /* */ spelling so the expectation can ride the same line as a
+// separate comment; the analyzer accepts both framings.
+package directive
+
+import "fmt"
+
+/*streamad:ignore hotalloc*/ // want `suppression directive missing reason: a bare ignore suppresses nothing`
+
+/*lint:ignore*/ // want `suppression directive names no analyzers`
+
+/*streamad:ignore hotallocs one-time lazy init*/ // want `suppression directive names unknown analyzer "hotallocs"`
+
+/*streamad:ignore hotalloc,detrnd covers both*/ // want `suppression directive names unknown analyzer "detrnd"`
+
+// A well-formed directive produces no finding, and "all" is a known
+// name.
+func ok() {
+	//streamad:ignore hotalloc one-time lazy init; steady state reuses the buffer
+	_ = fmt.Sprint("x")
+	//lint:ignore all fixture exercising the staticcheck spelling
+	_ = fmt.Sprint("y")
+}
+
+var _ = ok

@@ -1,0 +1,35 @@
+// Package helper provides the cross-package callees of the transitive
+// hotalloc fixture: the analyzer exports AllocFacts for the allocating
+// ones while analyzing this package, and the hotalloc2 fixture imports
+// them at its call sites.
+package helper
+
+// Grow allocates directly: append may grow the backing array.
+func Grow(xs []float64, v float64) []float64 {
+	return append(xs, v)
+}
+
+// Wrap allocates only through Grow, so its fact must come from the
+// intra-package fixpoint, not a direct construct.
+func Wrap(xs []float64) []float64 {
+	return Grow(xs, 1)
+}
+
+// Sum is allocation-free and exports no fact.
+func Sum(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+// Audited allocates lazily under a suppression, so the construct is
+// excluded from its AllocFact and hotpath callers stay clean.
+func Audited(buf []float64, n int) []float64 {
+	if buf == nil {
+		//streamad:ignore hotalloc one-time lazy init audited here; steady state reuses the buffer
+		buf = make([]float64, n)
+	}
+	return buf
+}

@@ -1,0 +1,34 @@
+// Package hotalloc2 is the transitive half of the hotalloc fixture: the
+// kernel itself contains no allocating construct, but some of its
+// static callees — in this package and in hotalloc2/helper — do, and
+// the call sites must be flagged with the chain that allocates.
+package hotalloc2
+
+import "hotalloc2/helper"
+
+var sink []float64
+
+// localGrow allocates; the fact stays inside this package.
+func localGrow(xs []float64) []float64 {
+	return append(xs, 2)
+}
+
+// indirect allocates only through localGrow (local fixpoint).
+func indirect(xs []float64) []float64 {
+	return localGrow(xs)
+}
+
+//streamad:hotpath
+func trusted(xs []float64) float64 {
+	return xs[0]
+}
+
+//streamad:hotpath
+func kernel(xs []float64) float64 {
+	sink = helper.Grow(xs, 1) // want `call to helper.Grow allocates on a hot path: append at `
+	sink = helper.Wrap(xs)    // want `call to helper.Wrap allocates on a hot path: calls helper.Grow, which allocates`
+	sink = localGrow(xs)      // want `call to hotalloc2.localGrow allocates on a hot path: append at `
+	sink = indirect(xs)       // want `call to hotalloc2.indirect allocates on a hot path: calls hotalloc2.localGrow, which allocates`
+	sink = helper.Audited(sink, len(xs))
+	return helper.Sum(xs) + trusted(xs)
+}

@@ -1,0 +1,16 @@
+// Package decl registers the shared metric family of the metriclint
+// fixture: its HELP/TYPE declarations and first emission site travel to
+// the importing package as a MetricsFact.
+package decl
+
+import (
+	"fmt"
+	"io"
+)
+
+// Register writes the shared family's declarations and one sample.
+func Register(w io.Writer) {
+	fmt.Fprint(w, "# HELP streamad_shared_total observations accepted\n")
+	fmt.Fprint(w, "# TYPE streamad_shared_total counter\n")
+	fmt.Fprintf(w, "streamad_shared_total{shard=%q} %d\n", "a", 1)
+}

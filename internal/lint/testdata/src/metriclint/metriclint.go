@@ -1,0 +1,54 @@
+// Package metriclint is the fixture for the metriclint analyzer. The
+// shared family is declared in metriclint/decl and its fact imported
+// here, so cross-package consistency is exercised alongside the local
+// checks: HELP/TYPE registration, duplicate declarations, valid types,
+// label-set parity and bounded cardinality.
+package metriclint
+
+import (
+	"fmt"
+	"io"
+
+	"metriclint/decl"
+)
+
+func register(w io.Writer) {
+	fmt.Fprint(w, "# HELP streamad_lookups_total registry lookups\n")
+	fmt.Fprint(w, "# TYPE streamad_lookups_total counter\n")
+	fmt.Fprint(w, "# HELP streamad_debug_info per-stream debug state\n")
+	fmt.Fprint(w, "# TYPE streamad_debug_info gauge\n")
+	fmt.Fprint(w, "# HELP streamad_latency_seconds scoring latency\n")
+	fmt.Fprint(w, "# TYPE streamad_latency_seconds histogram\n")
+	fmt.Fprint(w, "# TYPE streamad_bad_total speedometer\n")                // want `TYPE for streamad_bad_total is "speedometer"; want counter, gauge, histogram, summary or untyped`
+	fmt.Fprint(w, "# HELP streamad_dup_total first declaration\n")          // the duplicate below is the finding
+	fmt.Fprint(w, "# HELP streamad_dup_total second declaration\n")         // want `duplicate HELP for streamad_dup_total in this package`
+	fmt.Fprint(w, "# HELP streamad_naked_total\n")                          // want `HELP for streamad_naked_total has no description text`
+	fmt.Fprint(w, "# HELP streamad_shared_total re-registered elsewhere\n") // want `HELP for streamad_shared_total already declared in metriclint/decl; a family registers once`
+}
+
+func emit(w io.Writer, id string) {
+	decl.Register(w)
+
+	// Same label set as the site in metriclint/decl: consistent.
+	fmt.Fprintf(w, "streamad_shared_total{shard=%q} %d\n", "b", 2)
+
+	fmt.Fprintf(w, "streamad_shared_total{shard=%q,extra=%q} %d\n", "c", "x", 3) // want `family streamad_shared_total emitted with labels \{extra,shard\} here but \{shard\} at `
+
+	fmt.Fprintf(w, "streamad_orphan_total %d\n", 4) // want `family streamad_orphan_total is emitted without a # HELP registration` `family streamad_orphan_total is emitted without a # TYPE registration`
+
+	fmt.Fprintf(w, "streamad_lookups_total{stream=%q} %d\n", id, 5) // want `label "stream" on streamad_lookups_total takes a per-stream value: unbounded cardinality`
+
+	//streamad:ignore metriclint fixture: rendering capped upstream, overflow counted separately
+	fmt.Fprintf(w, "streamad_debug_info{stream=%q} %d\n", id, 1)
+
+	// Histogram series fold onto the base family; le is allowed on
+	// _bucket and the remaining labels must still match.
+	fmt.Fprintf(w, "streamad_latency_seconds_bucket{le=%q,shard=%q} %d\n", "0.1", "a", 7)
+	fmt.Fprintf(w, "streamad_latency_seconds_sum{shard=%q} %g\n", "a", 0.42)
+	fmt.Fprintf(w, "streamad_latency_seconds_count{shard=%q} %d\n", "a", 9)
+}
+
+var (
+	_ = register
+	_ = emit
+)
