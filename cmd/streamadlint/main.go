@@ -3,11 +3,15 @@
 //
 // Standalone, over the whole module:
 //
-//	streamadlint [-analyzers hotalloc,detrand] [dir]
+//	streamadlint [-analyzers hotalloc,detrand] [-json] [-timing] [dir]
 //
 // dir defaults to the current directory; streamadlint ascends to the
-// enclosing go.mod and checks every package in the module. Exit status
-// is 2 when any diagnostic is reported.
+// enclosing go.mod and checks every package in the module in dependency
+// order, threading cross-package facts. Exit status is 2 when any
+// unsuppressed diagnostic is reported. -json switches the report to a
+// machine-readable document on stdout that includes suppressed
+// diagnostics with their justifications (the suppression-audit view);
+// -timing appends the per-analyzer cost breakdown.
 //
 // As a vet tool, per compilation unit:
 //
@@ -16,23 +20,27 @@
 // In this mode the go command drives streamadlint through the vet
 // protocol: a -V=full version handshake, a -flags capability query, and
 // then one invocation per package with a JSON config file argument
-// naming the sources and the export data of every dependency.
+// naming the sources, the export data of every dependency, and the
+// facts files (vetx) of the direct imports.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"streamad/internal/lint"
 )
 
 // version participates in the go command's tool-ID handshake (-V=full);
 // bump it when analyzer behaviour changes so cached vet results are
-// invalidated.
-const version = "streamad-lint-1"
+// invalidated. lint-2: fact layer, statesync, metriclint, directive,
+// transitive hotalloc.
+const version = "streamad-lint-2"
 
 func main() {
 	progname := filepath.Base(os.Args[0])
@@ -53,8 +61,10 @@ func main() {
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	analyzersFlag := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	listFlag := fs.Bool("list", false, "list the analyzer catalogue and exit")
+	jsonFlag := fs.Bool("json", false, "standalone mode: report as JSON on stdout, suppressed diagnostics included")
+	timingFlag := fs.Bool("timing", false, "standalone mode: report per-analyzer timing")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-analyzers names] [-list] [dir | unit.cfg]\n", progname)
+		fmt.Fprintf(os.Stderr, "usage: %s [-analyzers names] [-list] [-json] [-timing] [dir | unit.cfg]\n", progname)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -80,7 +90,7 @@ func main() {
 	if len(rest) > 0 {
 		dir = rest[0]
 	}
-	os.Exit(standalone(dir, selected))
+	os.Exit(standalone(dir, selected, *jsonFlag, *timingFlag))
 }
 
 func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
@@ -102,8 +112,34 @@ func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
 	return out, nil
 }
 
-// standalone checks every package of the module enclosing dir.
-func standalone(dir string, analyzers []*lint.Analyzer) int {
+// jsonDiagnostic is one diagnostic in -json output. The schema is
+// pinned by TestJSONSchema; extend it, don't rearrange it.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonReport is the -json document.
+//
+//streamad:finite-json — TimingMs values derive from time.Duration microsecond counts, finite by construction.
+type jsonReport struct {
+	Version     string           `json:"version"`
+	Packages    int              `json:"packages"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	// TimingMs has one entry per analyzer plus "load" (parse and
+	// typecheck, shared by all analyzers). Always present so consumers
+	// need no fallback path.
+	TimingMs map[string]float64 `json:"timing_ms"`
+}
+
+// standalone checks every package of the module enclosing dir with one
+// shared fact set, in dependency order.
+func standalone(dir string, analyzers []*lint.Analyzer, asJSON, timing bool) int {
 	root, err := findModuleRoot(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -120,28 +156,85 @@ func standalone(dir string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	res, err := lint.RunModule(loader, paths, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if asJSON {
+		report := jsonReport{
+			Version:     version,
+			Packages:    res.Packages,
+			Diagnostics: []jsonDiagnostic{},
+			TimingMs:    timingMs(res),
+		}
+		for _, d := range res.Diags {
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				File:       relTo(root, d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				Reason:     d.Reason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if res.Unsuppressed() > 0 {
+			return 2
+		}
+		return 0
+	}
+
 	exit := 0
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			exit = 1
+	for _, d := range res.Diags {
+		if d.Suppressed {
 			continue
 		}
-		diags, err := lint.RunPackage(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			exit = 1
-			continue
-		}
-		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, d)
-			if exit == 0 {
-				exit = 2
-			}
-		}
+		fmt.Fprintln(os.Stderr, d)
+		exit = 2
+	}
+	if timing {
+		printTiming(res)
 	}
 	return exit
+}
+
+// timingMs flattens a ModuleResult's timing for the JSON report.
+func timingMs(res *lint.ModuleResult) map[string]float64 {
+	out := map[string]float64{"load": roundMs(res.LoadTime)}
+	for name, d := range res.Timing {
+		out[name] = roundMs(d)
+	}
+	return out
+}
+
+func roundMs(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+func printTiming(res *lint.ModuleResult) {
+	fmt.Fprintf(os.Stderr, "%-16s %10.1fms  (parse + typecheck, %d packages)\n", "load", roundMs(res.LoadTime), res.Packages)
+	for _, a := range lint.All() {
+		if d, ok := res.Timing[a.Name]; ok {
+			fmt.Fprintf(os.Stderr, "%-16s %10.1fms\n", a.Name, roundMs(d))
+		}
+	}
+}
+
+// relTo renders path relative to root when possible; diagnostics stay
+// stable across checkouts that way.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
 }
 
 func findModuleRoot(dir string) (string, error) {

@@ -26,8 +26,15 @@ type vetConfig struct {
 	ImportPath string
 	GoFiles    []string
 
+	// ModulePath is the module the unit belongs to; empty for the
+	// standard library. It is the analyze/skip pivot: only module-local
+	// units are checked, everything else just satisfies the protocol.
+	ModulePath string
+
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	// PackageVetx maps each direct import to the facts file its own vet
+	// invocation produced; VetxOutput is where this unit's facts go.
 	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
@@ -37,6 +44,10 @@ type vetConfig struct {
 }
 
 // unitCheck analyzes one compilation unit described by a vet .cfg file.
+// Facts flow both ways: the vetx files of the unit's direct imports are
+// merged into the fact set before analysis, and the full set known
+// afterwards — inherited facts included, so transitivity survives the
+// per-process protocol — is written to VetxOutput for dependent units.
 // Diagnostics go to stderr; the exit status is 2 when any are reported,
 // matching the vet tool convention.
 func unitCheck(cfgPath string, analyzers []*lint.Analyzer) int {
@@ -51,12 +62,32 @@ func unitCheck(cfgPath string, analyzers []*lint.Analyzer) int {
 		return 1
 	}
 
-	// The analyzers are factless, so dependency passes have nothing to
-	// compute; the facts file is written empty either way because the go
-	// command caches it as this unit's output.
-	writeVetx(cfg.VetxOutput)
-	if cfg.VetxOnly {
+	// Non-module units — the standard library, vendored third-party code
+	// if it ever appears — are outside the suite's invariants: emit an
+	// empty facts file to satisfy the protocol and move on. Module facts
+	// never travel through a stdlib package (stdlib cannot import the
+	// module), so nothing is lost by not passing inherited facts along.
+	// fmt and errors, the stdlib packages hotalloc cares about, are
+	// special-cased inside the analyzer instead of analyzed here.
+	if cfg.ModulePath == "" {
+		if err := writeVetx(cfg.VetxOutput, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 		return 0
+	}
+
+	fs := lint.NewFactSet()
+	for _, vetxPath := range cfg.PackageVetx {
+		facts, err := os.ReadFile(vetxPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streamadlint: reading facts %s: %v\n", vetxPath, err)
+			return 1
+		}
+		if err := fs.Decode(facts, analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "streamadlint: %v\n", err)
+			return 1
+		}
 	}
 
 	// Test files are exempt from the suite, matching the standalone
@@ -71,12 +102,22 @@ func unitCheck(cfgPath string, analyzers []*lint.Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				_ = writeVetx(cfg.VetxOutput, nil)
 				return 0
 			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		// An external test package's unit is all _test.go files; it has
+		// no shipped code to check and exports no facts.
+		if err := writeVetx(cfg.VetxOutput, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	// Dependencies are typechecked from the export data the go command
@@ -109,6 +150,7 @@ func unitCheck(cfgPath string, analyzers []*lint.Analyzer) int {
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			_ = writeVetx(cfg.VetxOutput, nil)
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, err)
@@ -116,24 +158,47 @@ func unitCheck(cfgPath string, analyzers []*lint.Analyzer) int {
 	}
 
 	pkg := lint.NewPackage(cfg.ImportPath, cfg.Dir, fset, files, tpkg, info)
-	diags, err := lint.RunPackage(pkg, analyzers)
+	diags, err := lint.RunPackageFacts(pkg, analyzers, fs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+
+	// The facts file is written even on a failing unit: the go command
+	// caches it as this unit's output either way.
+	encoded, err := fs.Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	if len(diags) > 0 {
+	if err := writeVetx(cfg.VetxOutput, encoded); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	reported := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+		reported++
+	}
+	if reported > 0 {
 		return 2
 	}
 	return 0
 }
 
-func writeVetx(path string) {
+func writeVetx(path string, data []byte) error {
 	if path == "" {
-		return
+		return nil
 	}
-	_ = os.MkdirAll(filepath.Dir(path), 0o777)
-	_ = os.WriteFile(path, nil, 0o666)
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }
