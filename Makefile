@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak bench-cascade bench-scale soak-smoke cascade-smoke shed-smoke drop-smoke scale-smoke cluster-smoke lint fmtcheck staticcheck vulncheck
+.PHONY: ci build vet test race bench bench-hotpath bench-smoke bench-soak bench-cascade bench-scale soak-smoke cascade-smoke shed-smoke drop-smoke scale-smoke cluster-smoke lint fmtcheck shellcheck staticcheck vulncheck
 
 # ci is the fast gate; the race detector runs as its own CI job (make
 # race) so the concurrency suites don't slow the edit loop. The smoke
@@ -20,11 +20,17 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own analyzer suite (cmd/streamadlint: hotalloc,
-# detrand, floatsafe, lockdiscipline, ctxgoroutine) over every package,
-# then staticcheck and govulncheck when they are on PATH (CI installs
-# pinned versions; locally they are optional extras).
+# detrand, floatsafe, lockdiscipline, ctxgoroutine, statesync,
+# metriclint, directive) over every package with cross-package facts,
+# then shellcheck, staticcheck and govulncheck when they are on PATH
+# (CI installs pinned versions; locally they are optional extras).
 lint:
 	$(GO) run ./cmd/streamadlint .
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "shellcheck not installed; skipping (runs pinned in CI)"; \
+	fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -41,6 +47,9 @@ fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+shellcheck:
+	shellcheck scripts/*.sh
 
 staticcheck:
 	staticcheck ./...
